@@ -1,0 +1,13 @@
+"""Shared helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, func):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic simulations, so repeating them only to
+    collect timing statistics would multiply the benchmark wall-clock time
+    without changing the regenerated tables.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1)

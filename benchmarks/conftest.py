@@ -1,0 +1,5 @@
+"""Pytest configuration for the benchmark harness.
+
+Benchmarks print the regenerated table / figure series for side-by-side
+comparison with the paper; ``-s`` (or ``--capture=no``) shows them inline.
+"""

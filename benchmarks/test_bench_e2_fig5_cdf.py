@@ -1,0 +1,60 @@
+"""E2 — Figure 5: CDF of per-path reordering rates over the survey.
+
+Paper: 50 hosts probed for 20 days; over 40 % of paths saw some reordering;
+forward-path reordering exceeds reverse-path reordering from the probe's
+vantage point.  Here: a 14-host synthetic population and a short campaign.
+"""
+
+from __future__ import annotations
+
+from bench_helpers import run_once
+
+from repro.analysis.figures import build_fig5_cdf
+from repro.core.campaign import Campaign, CampaignConfig
+from repro.core.prober import TestName
+from repro.core.sample import Direction
+from repro.workloads.population import PopulationSpec, generate_population
+from repro.workloads.testbed import build_testbed
+
+NUM_HOSTS = 14
+ROUNDS = 3
+
+
+def _run_campaign():
+    population = PopulationSpec(
+        num_hosts=NUM_HOSTS,
+        reordering_path_fraction=0.55,
+        mean_swap_probability=0.06,
+    )
+    specs = generate_population(population, seed=23)
+    testbed = build_testbed(specs, seed=23)
+    config = CampaignConfig(
+        rounds=ROUNDS,
+        samples_per_measurement=10,
+        tests=(TestName.SINGLE_CONNECTION, TestName.SYN),
+        inter_measurement_gap=0.2,
+        inter_round_gap=1.0,
+    )
+    return Campaign(testbed.probe, testbed.addresses(), config).run()
+
+
+def test_bench_fig5_cdf(benchmark):
+    campaign = run_once(benchmark, _run_campaign)
+    forward = build_fig5_cdf(campaign, TestName.SINGLE_CONNECTION, Direction.FORWARD)
+    reverse = build_fig5_cdf(campaign, TestName.SINGLE_CONNECTION, Direction.REVERSE)
+
+    print()
+    print("Figure 5 — CDF of per-path forward reordering rates (rate, cumulative fraction)")
+    for value, fraction in forward.rows():
+        print(f"  {value:.4f}\t{fraction:.3f}")
+    print(f"paths with any forward reordering: {forward.fraction_with_reordering:.1%}")
+    print(f"paths with any reverse reordering: {reverse.fraction_with_reordering:.1%}")
+
+    assert len(forward.per_path_rates) == NUM_HOSTS
+    # Paper shape: a substantial fraction (>40 % over 20 days; here a shorter
+    # campaign still finds >25 %) of paths show some reordering, and forward
+    # reordering dominates reverse reordering.
+    assert forward.fraction_with_reordering > 0.25
+    mean_forward = sum(forward.per_path_rates.values()) / NUM_HOSTS
+    mean_reverse = sum(reverse.per_path_rates.values()) / max(1, len(reverse.per_path_rates))
+    assert mean_forward > mean_reverse

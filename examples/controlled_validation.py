@@ -1,0 +1,30 @@
+#!/usr/bin/env python3
+"""Controlled validation against trace ground truth (paper §IV-A).
+
+Routes a measurement through a path element that swaps adjacent packets with
+a configured probability (the modified-dummynet model), captures a trace at
+the remote host, and compares each technique's reported reordering count with
+the count extracted from the trace — the same procedure that gave the paper
+its 99.99 % sample-accuracy figure.
+"""
+
+from __future__ import annotations
+
+from repro import TestName
+from repro.analysis.validation import validation_table
+from repro.workloads.validation import run_validation_sweep
+
+
+def main() -> None:
+    summary = run_validation_sweep(
+        tests=(TestName.SINGLE_CONNECTION, TestName.DUAL_CONNECTION, TestName.SYN),
+        rates=(0.01, 0.05, 0.15),
+        samples_per_cell=100,
+        seed=3,
+        include_data_transfer=True,
+    )
+    print(validation_table(summary))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: measure one-way reordering to a single simulated host.
+
+Builds a small testbed (one probe host, one web server, a path that swaps
+adjacent packets with different probabilities in each direction), then runs
+all four measurement techniques against it and prints the per-direction
+reordering-rate estimates each produces.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    DataTransferTest,
+    Direction,
+    DualConnectionTest,
+    HostSpec,
+    PathSpec,
+    SingleConnectionTest,
+    SynTest,
+    build_testbed,
+)
+from repro.net.flow import parse_address
+
+
+def main() -> None:
+    spec = HostSpec(
+        name="example.com",
+        address=parse_address("10.1.0.2"),
+        path=PathSpec(
+            forward_swap_probability=0.10,
+            reverse_swap_probability=0.04,
+            propagation_delay=0.005,
+        ),
+        web_object_size=32 * 1024,
+    )
+    testbed = build_testbed([spec], seed=7)
+    address = testbed.address_of("example.com")
+
+    techniques = [
+        SingleConnectionTest(testbed.probe, address),
+        DualConnectionTest(testbed.probe, address),
+        SynTest(testbed.probe, address),
+        DataTransferTest(testbed.probe, address),
+    ]
+
+    print("technique            forward rate        reverse rate")
+    print("-" * 60)
+    for technique in techniques:
+        result = technique.run(100)
+        forward = result.estimate(Direction.FORWARD)
+        reverse = result.estimate(Direction.REVERSE)
+        forward_text = forward.describe() if forward else "n/a (reverse-path only)"
+        reverse_text = reverse.describe() if reverse else "n/a"
+        print(f"{result.test_name:20s} {forward_text:32s} {reverse_text}")
+
+    print()
+    print("The path was configured with a 10% forward and 4% reverse adjacent-swap")
+    print("probability; the estimates above are what a single-ended prober can")
+    print("recover without any cooperation from the remote host.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Time-domain characterisation of a reordering path (paper §IV-C, Figure 7).
+
+Builds a path whose reordering comes from per-packet striping across two
+parallel links (the physical mechanism the paper identifies), then sweeps the
+inter-packet spacing of the dual-connection test and prints the reordering
+probability as a function of spacing.  The curve should start above ~5-15 %
+for back-to-back packets and decay towards zero within a few hundred
+microseconds, mirroring Figure 7.
+"""
+
+from __future__ import annotations
+
+from repro import Direction, DualConnectionTest, HostSpec, PathSpec, SpacingSweep, StripingSpec, build_testbed
+from repro.analysis.figures import build_fig7_series
+from repro.core.timeseries import coarse_spacing_grid
+from repro.net.flow import parse_address
+
+
+def main() -> None:
+    spec = HostSpec(
+        name="striped-path-host",
+        address=parse_address("10.2.0.2"),
+        path=PathSpec(
+            propagation_delay=0.002,
+            access_bandwidth_bps=None,
+            forward_striping=StripingSpec(queue_imbalance_scale=30e-6),
+        ),
+    )
+    testbed = build_testbed([spec], seed=17)
+    address = testbed.address_of("striped-path-host")
+
+    sweep = SpacingSweep(
+        test_factory=lambda: DualConnectionTest(testbed.probe, address),
+        direction=Direction.FORWARD,
+        samples_per_point=200,
+    ).run(coarse_spacing_grid(maximum=300e-6, step=25e-6))
+
+    fig7 = build_fig7_series(sweep)
+    print("inter-packet spacing vs. reordering probability")
+    for spacing_us, rate in fig7.rows():
+        bar = "#" * int(rate * 200)
+        print(f"  {spacing_us:6.0f} us  {rate:6.3f}  {bar}")
+
+    half_life = sweep.half_life()
+    if half_life is not None:
+        print(f"\nthe reordering probability halves after ~{half_life * 1e6:.0f} us of spacing")
+    print(
+        "Distribution measurements like this predict how any protocol's packet\n"
+        "spacing interacts with the path without building a protocol-specific test."
+    )
+
+
+if __name__ == "__main__":
+    main()

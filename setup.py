@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file
+exists so the package can be installed in environments without network access
+to a wheel of ``wheel`` (``python setup.py develop`` / ``pip install -e .``
+with very old tooling).
+"""
+
+from setuptools import setup
+
+setup()

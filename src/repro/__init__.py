@@ -1,0 +1,114 @@
+"""repro: single-ended measurement of Internet packet reordering.
+
+A reproduction of "Measuring Packet Reordering" (Bellardo & Savage, IMC 2002)
+as a self-contained Python library: the four measurement techniques (single
+connection, dual connection, SYN, and TCP data transfer tests), the
+packet-pair exchange metric and its time-domain parameterisation, plus the
+simulated network substrate (packets, paths, reordering processes, host TCP/IP
+stacks, middleboxes) the techniques are validated and evaluated against.
+
+Quickstart
+----------
+
+>>> from repro import quick_testbed, SingleConnectionTest, Direction
+>>> testbed = quick_testbed(forward_swap_probability=0.1, seed=3)
+>>> test = SingleConnectionTest(testbed.probe, testbed.address_of("target"))
+>>> result = test.run(num_samples=50)
+>>> 0.0 <= result.reordering_rate(Direction.FORWARD) <= 1.0
+True
+"""
+
+from repro.core import (
+    Campaign,
+    CampaignConfig,
+    CampaignResult,
+    DataTransferTest,
+    Direction,
+    DualConnectionTest,
+    IpidClass,
+    IpidValidationReport,
+    MeasurementResult,
+    ProbeReport,
+    Prober,
+    ReorderSample,
+    SampleOutcome,
+    SingleConnectionTest,
+    SpacingSweep,
+    SynTest,
+    TestName,
+    validate_host_ipid,
+)
+from repro.host import OS_PROFILES, OsProfile, ProbeHost, RemoteHost, profile_by_name
+from repro.sim import Simulator
+from repro.workloads import (
+    HostSpec,
+    PathSpec,
+    PopulationSpec,
+    StripingSpec,
+    Testbed,
+    build_testbed,
+    generate_population,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Campaign",
+    "CampaignConfig",
+    "CampaignResult",
+    "DataTransferTest",
+    "Direction",
+    "DualConnectionTest",
+    "HostSpec",
+    "IpidClass",
+    "IpidValidationReport",
+    "MeasurementResult",
+    "OS_PROFILES",
+    "OsProfile",
+    "PathSpec",
+    "PopulationSpec",
+    "ProbeHost",
+    "ProbeReport",
+    "Prober",
+    "RemoteHost",
+    "ReorderSample",
+    "SampleOutcome",
+    "Simulator",
+    "SingleConnectionTest",
+    "SpacingSweep",
+    "StripingSpec",
+    "SynTest",
+    "Testbed",
+    "TestName",
+    "build_testbed",
+    "generate_population",
+    "profile_by_name",
+    "quick_testbed",
+    "validate_host_ipid",
+    "__version__",
+]
+
+
+def quick_testbed(
+    forward_swap_probability: float = 0.05,
+    reverse_swap_probability: float = 0.02,
+    seed: int = 1,
+    target_name: str = "target",
+) -> Testbed:
+    """Build a one-host testbed with adjacent-swap reordering on both paths.
+
+    This is the fastest way to try the measurement techniques: it wires a
+    probe host to a single FreeBSD-like web server over a path that swaps
+    adjacent packets with the given probabilities.
+    """
+    from repro.net.flow import parse_address
+
+    spec = HostSpec(
+        name=target_name,
+        address=parse_address("10.1.0.2"),
+        path=PathSpec(
+            forward_swap_probability=forward_swap_probability,
+            reverse_swap_probability=reverse_swap_probability,
+        ),
+    )
+    return build_testbed([spec], seed=seed)

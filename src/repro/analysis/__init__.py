@@ -1,0 +1,26 @@
+"""Analysis and reporting: turns raw campaign / validation data into the
+tables and figure series of the paper's evaluation section.
+"""
+
+from repro.analysis.agreement import AgreementCell, AgreementMatrix, compute_agreement
+from repro.analysis.figures import (
+    build_fig5_cdf,
+    build_fig6_series,
+    build_fig7_series,
+)
+from repro.analysis.report import format_table
+from repro.analysis.survey import EligibilitySummary, summarize_eligibility
+from repro.analysis.validation import validation_table
+
+__all__ = [
+    "AgreementCell",
+    "AgreementMatrix",
+    "EligibilitySummary",
+    "build_fig5_cdf",
+    "build_fig6_series",
+    "build_fig7_series",
+    "compute_agreement",
+    "format_table",
+    "summarize_eligibility",
+    "validation_table",
+]

@@ -1,0 +1,146 @@
+"""Cross-test agreement analysis (experiment E5, paper §IV-B).
+
+The paper compares its tests pairwise using the pair-difference test
+statistic at a 99.9 % confidence level, per host: for each host, the series
+of per-measurement reordering rates produced by two tests are paired by
+campaign round, and the null hypothesis (the techniques agree) is supported
+when the confidence interval of the mean difference contains zero.  The paper
+reports, for each pair of tests, the fraction of hosts supporting the null.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.analysis.report import format_table
+from repro.core.campaign import CampaignResult
+from repro.core.prober import TestName
+from repro.core.sample import Direction
+from repro.net.errors import AnalysisError
+from repro.stats.pair_difference import paired_difference_test
+
+
+@dataclass(frozen=True, slots=True)
+class AgreementCell:
+    """Agreement between two tests over the host population, one direction."""
+
+    test_a: TestName
+    test_b: TestName
+    direction: Direction
+    hosts_compared: int
+    hosts_supporting_null: int
+
+    @property
+    def support_fraction(self) -> float:
+        """Fraction of comparable hosts for which the two tests agree."""
+        if self.hosts_compared == 0:
+            return 0.0
+        return self.hosts_supporting_null / self.hosts_compared
+
+    def describe(self) -> str:
+        """Render as ``a vs b (direction): x/y hosts agree``."""
+        return (
+            f"{self.test_a.value} vs {self.test_b.value} ({self.direction.value}): "
+            f"{self.hosts_supporting_null}/{self.hosts_compared} hosts agree"
+        )
+
+
+@dataclass(slots=True)
+class AgreementMatrix:
+    """All pairwise agreement cells for one campaign."""
+
+    confidence: float
+    cells: list[AgreementCell] = field(default_factory=list)
+
+    def cell_for(self, test_a: TestName, test_b: TestName, direction: Direction) -> Optional[AgreementCell]:
+        """Look up one cell (order of the two tests does not matter)."""
+        for cell in self.cells:
+            if cell.direction is not direction:
+                continue
+            if {cell.test_a, cell.test_b} == {test_a, test_b}:
+                return cell
+        return None
+
+    def to_table(self) -> str:
+        """Render the whole matrix as a text table."""
+        rows = [
+            [
+                cell.test_a.value,
+                cell.test_b.value,
+                cell.direction.value,
+                cell.hosts_compared,
+                cell.hosts_supporting_null,
+                f"{cell.support_fraction:.0%}",
+            ]
+            for cell in self.cells
+        ]
+        return format_table(
+            headers=["test A", "test B", "direction", "hosts", "agree", "fraction"],
+            rows=rows,
+            title=f"Pairwise agreement at {self.confidence:.1%} confidence",
+        )
+
+
+def _paired_rates(
+    campaign: CampaignResult,
+    host: int,
+    test_a: TestName,
+    test_b: TestName,
+    direction: Direction,
+) -> tuple[list[float], list[float]]:
+    """Pair the two tests' per-round rates for one host by campaign round."""
+    by_round_a: dict[int, float] = {}
+    by_round_b: dict[int, float] = {}
+    for record in campaign.records_for(host, test_a):
+        rate = record.report.rate(direction)
+        if rate is not None:
+            by_round_a[record.round_index] = rate
+    for record in campaign.records_for(host, test_b):
+        rate = record.report.rate(direction)
+        if rate is not None:
+            by_round_b[record.round_index] = rate
+    common = sorted(set(by_round_a) & set(by_round_b))
+    return [by_round_a[r] for r in common], [by_round_b[r] for r in common]
+
+
+def compute_agreement(
+    campaign: CampaignResult,
+    pairs: Optional[Sequence[tuple[TestName, TestName]]] = None,
+    directions: Sequence[Direction] = (Direction.FORWARD, Direction.REVERSE),
+    confidence: float = 0.999,
+    min_pairs: int = 3,
+) -> AgreementMatrix:
+    """Compute the pairwise agreement matrix over a campaign's hosts."""
+    if pairs is None:
+        tests = [t for t in TestName.all()]
+        pairs = [(tests[i], tests[j]) for i in range(len(tests)) for j in range(i + 1, len(tests))]
+    matrix = AgreementMatrix(confidence=confidence)
+    for test_a, test_b in pairs:
+        for direction in directions:
+            if direction is Direction.FORWARD and TestName.DATA_TRANSFER in (test_a, test_b):
+                # The data-transfer test cannot measure the forward path.
+                continue
+            compared = 0
+            supporting = 0
+            for host in campaign.host_addresses:
+                series_a, series_b = _paired_rates(campaign, host, test_a, test_b, direction)
+                if len(series_a) < min_pairs:
+                    continue
+                try:
+                    result = paired_difference_test(series_a, series_b, confidence=confidence)
+                except AnalysisError:
+                    continue
+                compared += 1
+                if result.supports_null:
+                    supporting += 1
+            matrix.cells.append(
+                AgreementCell(
+                    test_a=test_a,
+                    test_b=test_b,
+                    direction=direction,
+                    hosts_compared=compared,
+                    hosts_supporting_null=supporting,
+                )
+            )
+    return matrix

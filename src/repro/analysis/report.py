@@ -1,0 +1,37 @@
+"""Plain-text table rendering shared by the benchmark harness and examples."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Render a simple aligned text table.
+
+    Every cell is converted with ``str``; column widths adapt to content.
+    """
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def _render_row(cells: Sequence[str]) -> str:
+        padded = []
+        for index, cell in enumerate(cells):
+            width = widths[index] if index < len(widths) else len(cell)
+            padded.append(cell.ljust(width))
+        return "  ".join(padded).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(_render_row(list(headers)))
+    lines.append(_render_row(["-" * width for width in widths[: len(headers)]]))
+    for row in text_rows:
+        lines.append(_render_row(row))
+    return "\n".join(lines)

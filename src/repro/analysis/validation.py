@@ -1,0 +1,48 @@
+"""Tabulation of controlled-validation results (experiment E1, paper §IV-A)."""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.workloads.validation import ValidationSummary
+
+
+def validation_table(summary: ValidationSummary) -> str:
+    """Render the per-run validation table plus the paper-style aggregate line."""
+    rows = []
+    for run in summary.runs:
+        rows.append(
+            [
+                run.cell.test.value,
+                f"{run.cell.forward_rate:.0%}",
+                f"{run.cell.reverse_rate:.0%}",
+                run.cell.samples,
+                run.forward.reported,
+                run.forward.actual,
+                run.reverse.reported,
+                run.reverse.actual,
+                f"{(run.forward.accuracy + run.reverse.accuracy) / 2:.4f}",
+            ]
+        )
+    table = format_table(
+        headers=[
+            "test",
+            "fwd rate",
+            "rev rate",
+            "samples",
+            "fwd reported",
+            "fwd actual",
+            "rev reported",
+            "rev actual",
+            "accuracy",
+        ],
+        rows=rows,
+        title="Controlled validation (reported vs. trace ground truth)",
+    )
+    summary_line = (
+        f"\nruns={summary.total_runs()} "
+        f"forward discrepancies={summary.runs_with_forward_discrepancy()} "
+        f"reverse discrepancies={summary.runs_with_reverse_discrepancy()} "
+        f"max per-run discrepancy={summary.max_discrepancy()} "
+        f"sample accuracy={summary.sample_accuracy():.4%}"
+    )
+    return table + summary_line

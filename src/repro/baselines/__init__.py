@@ -1,0 +1,21 @@
+"""Baseline methodologies from prior work (paper §II).
+
+Two baselines are implemented so the evaluation can contrast them with the
+paper's single-ended techniques on identical simulated paths:
+
+* :mod:`repro.baselines.paxson` — passive analysis of a bulk TCP transfer's
+  receiver-side trace (Paxson 1997/1999);
+* :mod:`repro.baselines.bennett` — ICMP echo bursts with the burst-reordering
+  and SACK-block metrics (Bennett, Partridge & Shectman 1999).
+"""
+
+from repro.baselines.bennett import BennettBurstResult, BennettProbe
+from repro.baselines.paxson import PaxsonSessionResult, PaxsonStudy, PaxsonSummary
+
+__all__ = [
+    "BennettBurstResult",
+    "BennettProbe",
+    "PaxsonSessionResult",
+    "PaxsonStudy",
+    "PaxsonSummary",
+]

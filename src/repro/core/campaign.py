@@ -1,0 +1,183 @@
+"""Round-robin measurement campaigns (the paper's 20-day survey, §IV-B).
+
+A campaign repeatedly cycles through a set of hosts, running the configured
+techniques against each, with idle gaps between measurements.  The resulting
+dataset is what the analysis layer turns into the Figure 5 CDF, the Figure 6
+per-host time series, the eligibility table, and the pairwise-agreement
+statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.core.prober import ProbeReport, Prober, TestName
+from repro.core.sample import Direction
+from repro.host.raw_socket import ProbeHost
+from repro.net.errors import MeasurementError
+
+
+@dataclass(slots=True)
+class CampaignConfig:
+    """Configuration of a measurement campaign."""
+
+    rounds: int = 10
+    samples_per_measurement: int = 15
+    tests: tuple[TestName, ...] = TestName.all()
+    inter_measurement_gap: float = 1.0
+    inter_round_gap: float = 10.0
+    spacing: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rounds < 1:
+            raise MeasurementError(f"campaign needs at least one round: {self.rounds}")
+        if self.samples_per_measurement < 1:
+            raise MeasurementError(
+                f"campaign needs at least one sample per measurement: {self.samples_per_measurement}"
+            )
+
+
+@dataclass(slots=True)
+class HostRoundResult:
+    """One (round, host, test) measurement within a campaign."""
+
+    round_index: int
+    host_address: int
+    test: TestName
+    time: float
+    report: ProbeReport
+
+
+@dataclass(slots=True)
+class CampaignResult:
+    """Everything a campaign measured."""
+
+    config: CampaignConfig
+    host_addresses: tuple[int, ...]
+    records: list[HostRoundResult] = field(default_factory=list)
+
+    def add(self, record: HostRoundResult) -> None:
+        """Append one measurement record."""
+        self.records.append(record)
+
+    def records_for(
+        self,
+        host_address: Optional[int] = None,
+        test: Optional[TestName] = None,
+    ) -> list[HostRoundResult]:
+        """Filter records by host and/or test."""
+        selected = []
+        for record in self.records:
+            if host_address is not None and record.host_address != host_address:
+                continue
+            if test is not None and record.test != test:
+                continue
+            selected.append(record)
+        return selected
+
+    def rates_for(
+        self,
+        host_address: int,
+        test: TestName,
+        direction: Direction,
+    ) -> list[tuple[float, float]]:
+        """Return (time, rate) points for one host/test/direction, skipping failures."""
+        points = []
+        for record in self.records_for(host_address, test):
+            rate = record.report.rate(direction)
+            if rate is not None:
+                points.append((record.time, rate))
+        return points
+
+    def mean_rate(self, host_address: int, test: TestName, direction: Direction) -> Optional[float]:
+        """Mean of the per-measurement rates for one host/test/direction."""
+        rates = [rate for _time, rate in self.rates_for(host_address, test, direction)]
+        if not rates:
+            return None
+        return sum(rates) / len(rates)
+
+    def path_rates(self, test: TestName, direction: Direction) -> dict[int, float]:
+        """Per-host mean reordering rate for one technique and direction."""
+        rates: dict[int, float] = {}
+        for address in self.host_addresses:
+            rate = self.mean_rate(address, test, direction)
+            if rate is not None:
+                rates[address] = rate
+        return rates
+
+    def measurements_with_reordering(self) -> int:
+        """Number of measurements containing at least one reordered sample."""
+        return sum(
+            1
+            for record in self.records
+            if record.report.result is not None and record.report.result.has_reordering()
+        )
+
+    def total_measurements(self) -> int:
+        """Number of measurements that produced samples."""
+        return sum(1 for record in self.records if record.report.succeeded)
+
+    def ineligible_hosts(self, test: TestName) -> set[int]:
+        """Hosts ruled out for ``test``.
+
+        A host is ruled out when any attempt failed an explicit eligibility
+        check (the paper ruled the dual-connection test out for a host as soon
+        as IPID validation failed) or when no attempt ever produced samples.
+        """
+        failed: set[int] = set()
+        for address in self.host_addresses:
+            records = self.records_for(address, test)
+            if not records:
+                continue
+            if any(record.report.ineligible for record in records):
+                failed.add(address)
+            elif all(not record.report.succeeded for record in records):
+                failed.add(address)
+        return failed
+
+
+class Campaign:
+    """Runs a round-robin campaign against a set of remote hosts."""
+
+    def __init__(
+        self,
+        probe: ProbeHost,
+        host_addresses: Sequence[int],
+        config: Optional[CampaignConfig] = None,
+        remote_port: int = 80,
+    ) -> None:
+        if not host_addresses:
+            raise MeasurementError("campaign requires at least one host")
+        self.probe = probe
+        self.host_addresses = tuple(host_addresses)
+        self.config = config or CampaignConfig()
+        self.prober = Prober(
+            probe,
+            remote_port=remote_port,
+            samples_per_measurement=self.config.samples_per_measurement,
+        )
+
+    def run(self, tests: Optional[Iterable[TestName]] = None) -> CampaignResult:
+        """Execute the campaign and return the full record set."""
+        active_tests = tuple(tests) if tests is not None else self.config.tests
+        result = CampaignResult(config=self.config, host_addresses=self.host_addresses)
+        for round_index in range(self.config.rounds):
+            for address in self.host_addresses:
+                for test in active_tests:
+                    now = self.probe.sim.now
+                    report = self.prober.run(test, address, spacing=self.config.spacing)
+                    result.add(
+                        HostRoundResult(
+                            round_index=round_index,
+                            host_address=address,
+                            test=test,
+                            time=now,
+                            report=report,
+                        )
+                    )
+                    if self.config.inter_measurement_gap > 0.0:
+                        self.probe.sim.run_for(self.config.inter_measurement_gap)
+            if self.config.inter_round_gap > 0.0:
+                self.probe.sim.run_for(self.config.inter_round_gap)
+        return result

@@ -1,0 +1,203 @@
+"""The TCP Data Transfer Test (paper §III-E).
+
+The baseline point of comparison: fetch the root object from a web server
+and watch the order in which the response segments arrive.  The prober
+mitigates TCP's congestion-control dynamics by acknowledging the largest
+sequence number received (even across holes) and by restricting the
+advertised receive window and MSS so the transfer proceeds as a steady
+stream of small segments.
+
+The test measures the reverse path only, and its sample count is variable —
+one sample per adjacent pair of response segments — which is exactly the
+property that motivated the paper's fixed packet-pair tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.probe_connection import ProbeConnection
+from repro.core.sample import MeasurementResult, ReorderSample, SampleOutcome
+from repro.host.raw_socket import ProbeHost
+from repro.net.errors import SampleTimeoutError
+from repro.net.packet import TcpFlags
+from repro.net.seqnum import seq_add, seq_diff, seq_gt
+
+TEST_NAME = "data-transfer"
+
+
+@dataclass(frozen=True, slots=True)
+class ReceivedSegment:
+    """One data segment observed during the transfer."""
+
+    seq: int
+    length: int
+    time: float
+    serial: int
+    uid: int
+
+
+class DataTransferTest:
+    """Fetches an object from the remote host and measures reverse-path reordering."""
+
+    def __init__(
+        self,
+        probe: ProbeHost,
+        remote_addr: int,
+        remote_port: int = 80,
+        mss: int = 256,
+        advertised_window: int = 1024,
+        request_size: int = 64,
+        quiet_period: float = 1.5,
+        transfer_timeout: float = 60.0,
+        max_segments: int = 400,
+    ) -> None:
+        self.probe = probe
+        self.remote_addr = remote_addr
+        self.remote_port = remote_port
+        self.mss = mss
+        self.advertised_window = advertised_window
+        self.request_size = request_size
+        self.quiet_period = quiet_period
+        self.transfer_timeout = transfer_timeout
+        self.max_segments = max_segments
+
+    @property
+    def name(self) -> str:
+        """The test's canonical name."""
+        return TEST_NAME
+
+    def run(self, num_samples: int = 0, spacing: float = 0.0) -> MeasurementResult:
+        """Fetch the remote object once and classify segment pairs.
+
+        ``num_samples`` caps the number of samples reported (0 means "as many
+        as the transfer yields"); ``spacing`` is accepted for interface
+        compatibility but ignored — the server, not the prober, controls
+        segment spacing, which is precisely this test's limitation.
+        """
+        del spacing
+        result = MeasurementResult(
+            test_name=self.name,
+            host_address=self.remote_addr,
+            start_time=self.probe.sim.now,
+            end_time=self.probe.sim.now,
+            spacing=0.0,
+        )
+        connection = ProbeConnection(
+            self.probe,
+            self.remote_addr,
+            self.remote_port,
+            advertised_window=self.advertised_window,
+            mss=self.mss,
+        )
+        try:
+            connection.establish()
+        except SampleTimeoutError:
+            result.notes = "handshake failed"
+            result.end_time = self.probe.sim.now
+            return result
+
+        cursor = self.probe.capture_cursor()
+        connection.send_request(length=self.request_size)
+        segments = self._receive_transfer(connection, cursor)
+        connection.send_reset()
+
+        samples = self._classify_segments(segments)
+        if num_samples > 0:
+            samples = samples[:num_samples]
+        for sample in samples:
+            result.add(sample)
+        if len(segments) < 2:
+            result.notes = "object too small to measure (single segment or redirect)"
+        result.end_time = self.probe.sim.now
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Transfer machinery
+    # ------------------------------------------------------------------ #
+
+    def _receive_transfer(self, connection: ProbeConnection, cursor: int) -> list[ReceivedSegment]:
+        """Drive the transfer, acknowledging the largest sequence number seen."""
+        segments: list[ReceivedSegment] = []
+        seen_serials: set[int] = set()
+        highest_ack = connection.state.rcv_nxt
+        deadline = self.probe.sim.now + self.transfer_timeout
+
+        while self.probe.sim.now < deadline and len(segments) < self.max_segments:
+            before = len(self._data_packets(connection, cursor))
+            arrived = self.probe.wait_for_predicate(
+                lambda: len(self._data_packets(connection, cursor)) > before,
+                timeout=self.quiet_period,
+            )
+            if not arrived:
+                break
+            for captured in self._data_packets(connection, cursor):
+                if captured.serial in seen_serials:
+                    continue
+                seen_serials.add(captured.serial)
+                tcp = captured.packet.tcp
+                assert tcp is not None
+                length = len(captured.packet.payload)
+                segments.append(
+                    ReceivedSegment(
+                        seq=tcp.seq,
+                        length=length,
+                        time=captured.time,
+                        serial=captured.serial,
+                        uid=captured.packet.uid,
+                    )
+                )
+                segment_end = seq_add(tcp.seq, length)
+                if seq_gt(segment_end, highest_ack):
+                    highest_ack = segment_end
+            # Acknowledge the largest sequence number received so far so the
+            # server keeps sending even if intermediate data was lost.
+            connection.state.rcv_nxt = highest_ack
+            connection.send_ack(highest_ack)
+        return segments
+
+    def _data_packets(self, connection: ProbeConnection, cursor: int):
+        packets = []
+        for captured in self.probe.tcp_packets_since(
+            cursor, local_port=connection.local_port, remote_addr=self.remote_addr
+        ):
+            tcp = captured.packet.tcp
+            assert tcp is not None
+            if captured.packet.payload and not tcp.has(TcpFlags.SYN) and not tcp.has(TcpFlags.RST):
+                packets.append(captured)
+        return packets
+
+    # ------------------------------------------------------------------ #
+    # Classification
+    # ------------------------------------------------------------------ #
+
+    def _classify_segments(self, segments: list[ReceivedSegment]) -> list[ReorderSample]:
+        """Build one sample per adjacent pair of distinct segments in send order."""
+        if len(segments) < 2:
+            return []
+        # Deduplicate retransmissions: keep the first arrival of each sequence number.
+        first_arrival: dict[int, ReceivedSegment] = {}
+        for segment in segments:
+            if segment.seq not in first_arrival:
+                first_arrival[segment.seq] = segment
+        ordered = sorted(first_arrival.values(), key=lambda s: seq_diff(s.seq, segments[0].seq))
+
+        samples: list[ReorderSample] = []
+        for index in range(len(ordered) - 1):
+            earlier = ordered[index]
+            later = ordered[index + 1]
+            reordered = later.serial < earlier.serial
+            arrival_order = (later.uid, earlier.uid) if reordered else (earlier.uid, later.uid)
+            samples.append(
+                ReorderSample(
+                    index=index,
+                    time=later.time,
+                    spacing=0.0,
+                    forward=SampleOutcome.AMBIGUOUS,
+                    reverse=SampleOutcome.REORDERED if reordered else SampleOutcome.IN_ORDER,
+                    detail=f"seqs=({earlier.seq},{later.seq})",
+                    probe_uids=(earlier.uid, later.uid),
+                    response_uids=arrival_order,
+                )
+            )
+        return samples

@@ -1,0 +1,197 @@
+"""IPID eligibility validation for the dual-connection test (paper §III-C).
+
+The dual-connection test infers the order in which a remote host sent its
+acknowledgments from the IPID field, which is only valid when both
+connections share a single, strictly increasing IPID counter.  The paper's
+validation compares IPID differences between adjacent packets *within* a
+connection and *across* connections: with a shared increasing counter the
+within-connection differences dominate, while pseudo-random IPIDs or a
+transparent load balancer (separate backends with separate counters) destroy
+the correlation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.probe_connection import ProbeConnection
+from repro.host.raw_socket import ProbeHost
+from repro.net.errors import SampleTimeoutError
+from repro.net.packet import TcpFlags
+from repro.net.seqnum import ipid_diff
+
+
+class IpidClass(enum.Enum):
+    """Classification of a remote host's IPID behaviour as seen by the probe."""
+
+    SHARED_MONOTONIC = "shared-monotonic"
+    """A single increasing counter shared by both connections: eligible."""
+
+    CONSTANT = "constant"
+    """The IPID never changes (e.g. always zero): ineligible."""
+
+    RANDOM_OR_UNSHARED = "random-or-unshared"
+    """Pseudo-random IPIDs or connections aliased to different hosts: ineligible."""
+
+    INSUFFICIENT = "insufficient"
+    """Too few observations to decide: treated as ineligible."""
+
+
+@dataclass(frozen=True, slots=True)
+class IpidValidationReport:
+    """The outcome of IPID validation against one host."""
+
+    ipid_class: IpidClass
+    observations: tuple[tuple[int, int], ...]
+    within_connection_pairs: int
+    within_connection_violations: int
+    cross_connection_pairs: int
+    cross_connection_violations: int
+
+    @property
+    def eligible(self) -> bool:
+        """True when the dual-connection test may be used against this host."""
+        return self.ipid_class is IpidClass.SHARED_MONOTONIC
+
+    def describe(self) -> str:
+        """Render the report on one line."""
+        return (
+            f"{self.ipid_class.value}: {len(self.observations)} observations, "
+            f"within violations {self.within_connection_violations}/{self.within_connection_pairs}, "
+            f"cross violations {self.cross_connection_violations}/{self.cross_connection_pairs}"
+        )
+
+
+def classify_ipid_sequence(
+    observations: Sequence[tuple[int, int]],
+    min_observations: int = 6,
+    cross_violation_tolerance: float = 0.2,
+) -> IpidValidationReport:
+    """Classify a sequence of (connection id, IPID) observations.
+
+    The observations must be in the order the probe host received them, with
+    each probe packet acknowledged before the next one was sent, so that a
+    shared increasing counter implies a non-decreasing IPID sequence across
+    the whole interleaving.
+    """
+    observations = tuple(observations)
+    within_pairs = 0
+    within_violations = 0
+    cross_pairs = 0
+    cross_violations = 0
+
+    if len(observations) < min_observations:
+        return IpidValidationReport(
+            ipid_class=IpidClass.INSUFFICIENT,
+            observations=observations,
+            within_connection_pairs=0,
+            within_connection_violations=0,
+            cross_connection_pairs=0,
+            cross_connection_violations=0,
+        )
+
+    distinct_values = {ipid for _conn, ipid in observations}
+    if len(distinct_values) == 1:
+        return IpidValidationReport(
+            ipid_class=IpidClass.CONSTANT,
+            observations=observations,
+            within_connection_pairs=0,
+            within_connection_violations=0,
+            cross_connection_pairs=0,
+            cross_connection_violations=0,
+        )
+
+    last_by_connection: dict[int, int] = {}
+    for index in range(1, len(observations)):
+        conn, ipid = observations[index]
+        prev_conn, prev_ipid = observations[index - 1]
+        if conn != prev_conn:
+            cross_pairs += 1
+            if ipid_diff(ipid, prev_ipid) <= 0:
+                cross_violations += 1
+    for conn, ipid in observations:
+        if conn in last_by_connection:
+            within_pairs += 1
+            if ipid_diff(ipid, last_by_connection[conn]) <= 0:
+                within_violations += 1
+        last_by_connection[conn] = ipid
+
+    if within_pairs > 0 and within_violations > 0:
+        ipid_class = IpidClass.RANDOM_OR_UNSHARED
+    elif cross_pairs > 0 and cross_violations / cross_pairs > cross_violation_tolerance:
+        ipid_class = IpidClass.RANDOM_OR_UNSHARED
+    else:
+        ipid_class = IpidClass.SHARED_MONOTONIC
+
+    return IpidValidationReport(
+        ipid_class=ipid_class,
+        observations=observations,
+        within_connection_pairs=within_pairs,
+        within_connection_violations=within_violations,
+        cross_connection_pairs=cross_pairs,
+        cross_connection_violations=cross_violations,
+    )
+
+
+def collect_ipid_observations(
+    probe: ProbeHost,
+    connection_a: ProbeConnection,
+    connection_b: ProbeConnection,
+    rounds: int = 8,
+    timeout: float = 1.0,
+) -> list[tuple[int, int]]:
+    """Alternately probe two established connections and record ACK IPIDs.
+
+    Each probe is a one-byte out-of-order data packet (sequence one beyond
+    what the receiver expects), which is acknowledged immediately; the next
+    probe is not sent until the previous acknowledgment arrives, so the
+    observation sequence reflects the remote host's send order.
+    """
+    observations: list[tuple[int, int]] = []
+    connections = (connection_a, connection_b)
+    for round_index in range(rounds):
+        for conn_index, connection in enumerate(connections):
+            cursor = probe.capture_cursor()
+            connection.send_data_at_offset(1, length=1)
+            replies = probe.wait_for_packets(
+                cursor,
+                count=1,
+                timeout=timeout,
+                local_port=connection.local_port,
+                remote_addr=connection.remote_addr,
+            )
+            acks = [
+                captured
+                for captured in replies
+                if captured.packet.tcp is not None and captured.packet.tcp.has(TcpFlags.ACK)
+            ]
+            if not acks:
+                continue
+            observations.append((conn_index, acks[0].packet.ip.ident))
+        del round_index
+    return observations
+
+
+def validate_host_ipid(
+    probe: ProbeHost,
+    remote_addr: int,
+    remote_port: int = 80,
+    rounds: int = 8,
+    timeout: float = 1.0,
+) -> IpidValidationReport:
+    """Establish two connections to a host, probe its IPID behaviour, and classify it."""
+    connection_a = ProbeConnection(probe, remote_addr, remote_port)
+    connection_b = ProbeConnection(probe, remote_addr, remote_port)
+    try:
+        connection_a.establish()
+        connection_b.establish()
+    except SampleTimeoutError:
+        return classify_ipid_sequence(())
+    try:
+        observations = collect_ipid_observations(probe, connection_a, connection_b, rounds, timeout)
+    finally:
+        connection_a.send_reset()
+        connection_b.send_reset()
+    return classify_ipid_sequence(observations)

@@ -1,0 +1,140 @@
+"""Reordering metrics.
+
+The paper proposes a primitive metric — the number of *exchanges* between
+pairs of test packets — and argues that parameterising it (by inter-packet
+gap, by load) captures the essence of any reordering process.  This module
+implements that metric plus the derived quantities the analysis layer needs,
+and, as an extension, the sequence-based metrics later standardised in
+RFC 4737 (reordering extent, n-reordering, reordered packet ratio) so results
+can be compared against other tooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.sample import Direction, MeasurementResult
+from repro.net.errors import AnalysisError
+from repro.stats.intervals import BinomialEstimate, binomial_estimate
+
+
+@dataclass(frozen=True, slots=True)
+class ReorderingEstimate:
+    """A reordering-rate estimate for one direction of one path."""
+
+    direction: Direction
+    estimate: BinomialEstimate
+    spacing: float = 0.0
+
+    @property
+    def rate(self) -> float:
+        """Point estimate of the pair-exchange probability."""
+        return self.estimate.rate
+
+    def describe(self) -> str:
+        """Render the estimate on one line."""
+        return f"{self.direction.value}: {self.estimate.describe()} (gap {self.spacing * 1e6:.0f} us)"
+
+
+def count_exchanges(send_order: Sequence[int], arrival_order: Sequence[int]) -> int:
+    """Count pairwise exchanges between ``send_order`` and ``arrival_order``.
+
+    An exchange is a pair of packets whose relative order at arrival is the
+    inverse of their order at sending — i.e. the number of inversions of the
+    arrival permutation.  Packets that never arrived are ignored.
+    """
+    position = {identifier: index for index, identifier in enumerate(send_order)}
+    arrived = [position[identifier] for identifier in arrival_order if identifier in position]
+    exchanges = 0
+    for i in range(len(arrived)):
+        for j in range(i + 1, len(arrived)):
+            if arrived[i] > arrived[j]:
+                exchanges += 1
+    return exchanges
+
+
+def exchange_metric(results: Sequence[MeasurementResult], direction: Direction, confidence: float = 0.95) -> Optional[BinomialEstimate]:
+    """Pool measurement results into a single pair-exchange rate estimate."""
+    reordered = sum(r.reordered_samples(direction) for r in results)
+    valid = sum(r.valid_samples(direction) for r in results)
+    if valid == 0:
+        return None
+    return binomial_estimate(reordered, valid, confidence)
+
+
+def reordering_rate(result: MeasurementResult, direction: Direction, confidence: float = 0.95) -> Optional[ReorderingEstimate]:
+    """Return the reordering estimate of one measurement, or None without valid samples."""
+    estimate = result.estimate(direction, confidence)
+    if estimate is None:
+        return None
+    return ReorderingEstimate(direction=direction, estimate=estimate, spacing=result.spacing)
+
+
+def sequence_reordering_probability(pair_rate: float, sequence_length: int) -> float:
+    """Probability that a back-to-back sequence of n packets sees >= 1 exchange.
+
+    This is the IID extrapolation the paper describes (and warns about): if
+    each adjacent pair is exchanged independently with probability
+    ``pair_rate``, a sequence of ``sequence_length`` packets contains
+    ``sequence_length - 1`` adjacent pairs.
+    """
+    if not 0.0 <= pair_rate <= 1.0:
+        raise AnalysisError(f"pair rate out of range: {pair_rate}")
+    if sequence_length < 2:
+        raise AnalysisError(f"sequence length must be at least 2: {sequence_length}")
+    return 1.0 - (1.0 - pair_rate) ** (sequence_length - 1)
+
+
+# --------------------------------------------------------------------------- #
+# RFC 4737-style sequence metrics (extension beyond the paper)
+# --------------------------------------------------------------------------- #
+
+
+def reordered_packet_ratio(expected_order: Sequence[int], arrival_order: Sequence[int]) -> float:
+    """Fraction of arriving packets that are reordered in the RFC 4737 sense.
+
+    A packet is reordered when it arrives with a sequence identifier smaller
+    than one that has already arrived (i.e. it was overtaken).
+    """
+    if not arrival_order:
+        raise AnalysisError("cannot compute a ratio over an empty arrival sequence")
+    rank = {identifier: index for index, identifier in enumerate(expected_order)}
+    next_expected = 0
+    reordered = 0
+    counted = 0
+    for identifier in arrival_order:
+        if identifier not in rank:
+            continue
+        counted += 1
+        index = rank[identifier]
+        if index >= next_expected:
+            next_expected = index + 1
+        else:
+            reordered += 1
+    if counted == 0:
+        raise AnalysisError("arrival sequence shares no identifiers with the expected order")
+    return reordered / counted
+
+
+def reordering_extent(expected_order: Sequence[int], arrival_order: Sequence[int]) -> list[int]:
+    """Per-packet reordering extent (RFC 4737): how many positions late each
+    reordered packet arrived.  In-order packets contribute extent zero.
+    """
+    rank = {identifier: index for index, identifier in enumerate(expected_order)}
+    arrived_ranks: list[int] = []
+    extents: list[int] = []
+    for identifier in arrival_order:
+        if identifier not in rank:
+            continue
+        index = rank[identifier]
+        earlier_larger = sum(1 for r in arrived_ranks if r > index)
+        extents.append(earlier_larger)
+        arrived_ranks.append(index)
+    return extents
+
+
+def n_reordering(expected_order: Sequence[int], arrival_order: Sequence[int]) -> int:
+    """The n-reordering degree (RFC 4737 §5.4): the maximum reordering extent."""
+    extents = reordering_extent(expected_order, arrival_order)
+    return max(extents) if extents else 0

@@ -1,0 +1,208 @@
+"""Client-side TCP connection management for the probe host.
+
+The single- and dual-connection tests need an established TCP connection to
+the remote host before they can craft their out-of-order probes.  This module
+performs the three-way handshake from raw packets, tracks the sequence
+numbers both sides expect, and provides the low-level send helpers the tests
+use (data at an arbitrary offset from the receiver's expected sequence
+number, bare ACKs, and RSTs for clean teardown).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.host.raw_socket import ProbeHost
+from repro.net.errors import SampleTimeoutError
+from repro.net.packet import Packet, TcpFlags, TcpHeader, TcpOption
+from repro.net.seqnum import seq_add
+
+DEFAULT_HANDSHAKE_TIMEOUT = 3.0
+
+
+@dataclass(slots=True)
+class ConnectionState:
+    """Sequence-number bookkeeping for an established probe connection."""
+
+    local_port: int
+    remote_addr: int
+    remote_port: int
+    iss: int
+    snd_nxt: int
+    irs: int = 0
+    rcv_nxt: int = 0
+    remote_expected_seq: int = 0
+    established: bool = False
+
+
+class ProbeConnection:
+    """A raw-socket TCP client connection driven by a measurement technique."""
+
+    def __init__(
+        self,
+        probe: ProbeHost,
+        remote_addr: int,
+        remote_port: int = 80,
+        advertised_window: int = 65535,
+        mss: Optional[int] = None,
+        initial_seq: Optional[int] = None,
+    ) -> None:
+        self._probe = probe
+        self.advertised_window = advertised_window
+        self.mss = mss
+        iss = initial_seq if initial_seq is not None else 1_000 + probe.allocate_port() * 7
+        self.state = ConnectionState(
+            local_port=probe.allocate_port(),
+            remote_addr=remote_addr,
+            remote_port=remote_port,
+            iss=iss,
+            snd_nxt=seq_add(iss, 1),
+        )
+
+    @property
+    def local_port(self) -> int:
+        """The probe-side source port of this connection."""
+        return self.state.local_port
+
+    @property
+    def remote_addr(self) -> int:
+        """The remote host address."""
+        return self.state.remote_addr
+
+    @property
+    def established(self) -> bool:
+        """True after a successful three-way handshake."""
+        return self.state.established
+
+    # ------------------------------------------------------------------ #
+    # Packet construction
+    # ------------------------------------------------------------------ #
+
+    def _header(self, flags: TcpFlags, seq: int, ack: int = 0, options: tuple[TcpOption, ...] = ()) -> TcpHeader:
+        return TcpHeader(
+            src_port=self.state.local_port,
+            dst_port=self.state.remote_port,
+            seq=seq,
+            ack=ack,
+            flags=flags,
+            window=self.advertised_window,
+            options=options,
+        )
+
+    def _send(self, header: TcpHeader, payload: bytes = b"") -> Packet:
+        packet = Packet.tcp_packet(
+            src=self._probe.address,
+            dst=self.state.remote_addr,
+            tcp=header,
+            payload=payload,
+        )
+        self._probe.send(packet)
+        return packet
+
+    # ------------------------------------------------------------------ #
+    # Handshake and teardown
+    # ------------------------------------------------------------------ #
+
+    def send_syn(self, seq: Optional[int] = None) -> Packet:
+        """Send a SYN (used directly by the SYN test, and by establish())."""
+        options: tuple[TcpOption, ...] = ()
+        if self.mss is not None:
+            options = (TcpOption.mss(self.mss),)
+        return self._send(self._header(TcpFlags.SYN, seq if seq is not None else self.state.iss, options=options))
+
+    def establish(self, timeout: float = DEFAULT_HANDSHAKE_TIMEOUT) -> None:
+        """Perform the full three-way handshake.
+
+        Raises
+        ------
+        SampleTimeoutError
+            If no SYN/ACK arrives within ``timeout`` seconds.
+        """
+        cursor = self._probe.capture_cursor()
+        self.send_syn()
+
+        def _got_syn_ack() -> bool:
+            return self._find_syn_ack(cursor) is not None
+
+        if not self._probe.wait_for_predicate(_got_syn_ack, timeout):
+            raise SampleTimeoutError(
+                f"no SYN/ACK from {self.state.remote_addr}:{self.state.remote_port} "
+                f"within {timeout} s"
+            )
+        syn_ack = self._find_syn_ack(cursor)
+        assert syn_ack is not None
+        self.state.irs = syn_ack.seq
+        self.state.rcv_nxt = seq_add(syn_ack.seq, 1)
+        self.state.remote_expected_seq = seq_add(self.state.iss, 1)
+        self.state.established = True
+        self.send_ack()
+
+    def _find_syn_ack(self, cursor: int) -> Optional[TcpHeader]:
+        for captured in self._probe.tcp_packets_since(
+            cursor, local_port=self.state.local_port, remote_addr=self.state.remote_addr
+        ):
+            tcp = captured.packet.tcp
+            assert tcp is not None
+            if tcp.has(TcpFlags.SYN) and tcp.has(TcpFlags.ACK):
+                return tcp
+        return None
+
+    def send_ack(self, ack: Optional[int] = None) -> Packet:
+        """Send a bare ACK (defaults to acknowledging everything received)."""
+        return self._send(
+            self._header(
+                TcpFlags.ACK,
+                seq=self.state.snd_nxt,
+                ack=ack if ack is not None else self.state.rcv_nxt,
+            )
+        )
+
+    def send_reset(self) -> Packet:
+        """Send a RST to tear down the connection at the remote host."""
+        self.state.established = False
+        return self._send(self._header(TcpFlags.RST | TcpFlags.ACK, seq=self.state.snd_nxt, ack=self.state.rcv_nxt))
+
+    # ------------------------------------------------------------------ #
+    # Measurement probes
+    # ------------------------------------------------------------------ #
+
+    def send_data_at_offset(self, offset: int, length: int = 1, ack: Optional[int] = None) -> Packet:
+        """Send ``length`` bytes of data whose sequence number is the remote
+        host's expected sequence number plus ``offset``.
+
+        ``offset=0`` is in-order data, ``offset=1`` creates / targets the
+        sequence hole used by the single- and dual-connection tests.
+        """
+        seq = seq_add(self.state.remote_expected_seq, offset)
+        header = self._header(
+            TcpFlags.ACK | TcpFlags.PSH,
+            seq=seq,
+            ack=ack if ack is not None else self.state.rcv_nxt,
+        )
+        return self._send(header, payload=b"\x00" * length)
+
+    def send_request(self, length: int = 64) -> Packet:
+        """Send an HTTP-style GET request (the data-transfer test's trigger) and
+        advance the local notion of what the remote host now expects."""
+        request = b"GET / HTTP/1.0\r\n\r\n"
+        if length > len(request):
+            request = request + b" " * (length - len(request))
+        seq = self.state.remote_expected_seq
+        header = self._header(
+            TcpFlags.ACK | TcpFlags.PSH,
+            seq=seq,
+            ack=self.state.rcv_nxt,
+        )
+        packet = self._send(header, payload=request)
+        self.state.remote_expected_seq = seq_add(self.state.remote_expected_seq, len(request))
+        self.state.snd_nxt = seq_add(self.state.snd_nxt, len(request))
+        return packet
+
+    def note_remote_progress(self, new_expected: int) -> None:
+        """Record that the remote host now expects ``new_expected`` (learned from its ACKs)."""
+        self.state.remote_expected_seq = new_expected
+
+    def advance_expected(self, delta: int) -> None:
+        """Advance the remote host's expected sequence number by ``delta`` bytes."""
+        self.state.remote_expected_seq = seq_add(self.state.remote_expected_seq, delta)

@@ -1,0 +1,57 @@
+"""ICMP echo responder for the Bennett et al. baseline.
+
+Replies to echo requests with echo replies carrying the same identifier,
+sequence number, and payload.  Replies are stamped with IPIDs from the host's
+shared IP stack, exactly like TCP traffic, because that sharing is an
+observable property of real hosts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.host.ipid import IpStack
+from repro.net.packet import ICMP_ECHO_REPLY, IcmpEcho, Packet
+
+TransmitFn = Callable[[Packet], None]
+
+
+class IcmpResponder:
+    """Answers ICMP echo requests addressed to this host."""
+
+    def __init__(self, stack: IpStack, enabled: bool = True) -> None:
+        self._stack = stack
+        self._transmit: Optional[TransmitFn] = None
+        self.enabled = enabled
+        self.requests_seen = 0
+        self.replies_sent = 0
+
+    def set_transmit(self, transmit: TransmitFn) -> None:
+        """Provide the function used to send replies toward the probe host."""
+        self._transmit = transmit
+
+    def deliver(self, packet: Packet) -> None:
+        """Accept an ICMP packet arriving from the network."""
+        if not packet.is_icmp():
+            return
+        icmp = packet.icmp
+        assert icmp is not None
+        if packet.ip.dst != self._stack.address or not icmp.is_request():
+            return
+        self.requests_seen += 1
+        if not self.enabled or self._transmit is None:
+            return
+        reply = IcmpEcho(
+            icmp_type=ICMP_ECHO_REPLY,
+            identifier=icmp.identifier,
+            sequence=icmp.sequence,
+            payload=icmp.payload,
+        )
+        response = Packet.icmp_packet(
+            src=self._stack.address,
+            dst=packet.ip.src,
+            icmp=reply,
+            ident=self._stack.next_ipid(packet.ip.src),
+        )
+        self.replies_sent += 1
+        self._transmit(response)

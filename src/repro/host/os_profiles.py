@@ -1,0 +1,197 @@
+"""Operating-system behaviour profiles for simulated remote hosts.
+
+Each profile bundles the implementation characteristics the measurement
+techniques are sensitive to.  The catalogue covers the behaviours the paper
+encountered in its 50-host survey: traditional global-counter IPID stacks,
+Linux 2.4's constant-zero IPID, OpenBSD's random IPID, Solaris's
+per-destination counter, strict-specification and deviant second-SYN
+responses, and stacks that do not acknowledge immediately when a hole is
+filled (the delayed-ACK pathology of the single-connection test).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.host.ipid import (
+    ConstantZeroIpid,
+    GlobalCounterIpid,
+    IpidPolicy,
+    PerDestinationIpid,
+    RandomIncrementIpid,
+    RandomIpid,
+)
+from repro.sim.random import SeededRandom
+
+
+class SecondSynResponse(enum.Enum):
+    """How a stack responds to a second SYN for a connection in SYN_RECEIVED."""
+
+    ALWAYS_RST = "rst"
+    """The most common behaviour: always answer the second SYN with a RST."""
+
+    SPEC_COMPLIANT = "spec"
+    """Follow RFC 793: RST when the SYN is inside the window, pure ACK otherwise."""
+
+    DUAL_RST = "dual_rst"
+    """A deviant stack that answers the second SYN with two RST packets."""
+
+    IGNORE = "ignore"
+    """A deviant stack that only ever responds to the first SYN."""
+
+
+@dataclass(frozen=True)
+class OsProfile:
+    """The stack behaviours a simulated host exhibits.
+
+    Parameters
+    ----------
+    name:
+        Human-readable label used in survey output.
+    ipid_policy_factory:
+        Builds the host's IPID policy from a seeded RNG (random policies need
+        their own stream).
+    delayed_ack:
+        Whether in-order data is acknowledged lazily.
+    delayed_ack_timeout:
+        Maximum time an ACK for in-order data may be delayed, in seconds.
+    delayed_ack_threshold:
+        Number of unacknowledged in-order segments that forces an ACK.
+    ack_on_hole_fill:
+        Whether a segment that fills a sequence hole is acknowledged
+        immediately (RFC 5681 behaviour).  Stacks without it exhibit the
+        "single ack 4" ambiguity described in Section III-B.
+    immediate_ack_out_of_order:
+        Whether out-of-order segments generate an immediate duplicate ACK
+        (required for fast retransmit, assumed by all the tests).
+    second_syn_response:
+        Behaviour for the SYN test's second SYN.
+    advertised_window:
+        Receive window advertised by the host.
+    """
+
+    name: str
+    ipid_policy_factory: Callable[[SeededRandom], IpidPolicy]
+    delayed_ack: bool = True
+    delayed_ack_timeout: float = 0.2
+    delayed_ack_threshold: int = 2
+    ack_on_hole_fill: bool = True
+    immediate_ack_out_of_order: bool = True
+    second_syn_response: SecondSynResponse = SecondSynResponse.ALWAYS_RST
+    advertised_window: int = 65535
+
+    def build_ipid_policy(self, rng: SeededRandom) -> IpidPolicy:
+        """Instantiate this profile's IPID policy."""
+        return self.ipid_policy_factory(rng)
+
+
+def _global_counter(rng: SeededRandom) -> IpidPolicy:
+    return GlobalCounterIpid(start=rng.randint(1, 60000))
+
+
+def _per_destination(rng: SeededRandom) -> IpidPolicy:
+    return PerDestinationIpid(start=rng.randint(1, 60000))
+
+
+def _random_ipid(rng: SeededRandom) -> IpidPolicy:
+    return RandomIpid(rng.fork("ipid"))
+
+
+def _random_increment(rng: SeededRandom) -> IpidPolicy:
+    return RandomIncrementIpid(rng.fork("ipid"), max_increment=8, start=rng.randint(1, 60000))
+
+
+def _zero_ipid(rng: SeededRandom) -> IpidPolicy:
+    del rng
+    return ConstantZeroIpid()
+
+
+FREEBSD_44 = OsProfile(name="freebsd-4.4", ipid_policy_factory=_global_counter)
+
+WINDOWS_2000 = OsProfile(
+    name="windows-2000",
+    ipid_policy_factory=_global_counter,
+    delayed_ack_timeout=0.2,
+)
+
+LINUX_22 = OsProfile(name="linux-2.2", ipid_policy_factory=_global_counter)
+
+LINUX_24 = OsProfile(
+    name="linux-2.4",
+    ipid_policy_factory=_zero_ipid,
+)
+
+OPENBSD_30 = OsProfile(
+    name="openbsd-3.0",
+    ipid_policy_factory=_random_ipid,
+)
+
+SOLARIS_8 = OsProfile(
+    name="solaris-8",
+    ipid_policy_factory=_per_destination,
+)
+
+HARDENED_FREEBSD = OsProfile(
+    name="freebsd-random-increment",
+    ipid_policy_factory=_random_increment,
+)
+
+SPEC_STRICT = OsProfile(
+    name="spec-strict",
+    ipid_policy_factory=_global_counter,
+    second_syn_response=SecondSynResponse.SPEC_COMPLIANT,
+)
+
+LEGACY_DELAYED_ACK = OsProfile(
+    name="legacy-delayed-ack",
+    ipid_policy_factory=_global_counter,
+    ack_on_hole_fill=False,
+    delayed_ack_timeout=0.5,
+)
+
+ODDBALL_DUAL_RST = OsProfile(
+    name="oddball-dual-rst",
+    ipid_policy_factory=_global_counter,
+    second_syn_response=SecondSynResponse.DUAL_RST,
+)
+
+ODDBALL_SILENT_SYN = OsProfile(
+    name="oddball-silent-syn",
+    ipid_policy_factory=_global_counter,
+    second_syn_response=SecondSynResponse.IGNORE,
+)
+
+OS_PROFILES: dict[str, OsProfile] = {
+    profile.name: profile
+    for profile in (
+        FREEBSD_44,
+        WINDOWS_2000,
+        LINUX_22,
+        LINUX_24,
+        OPENBSD_30,
+        SOLARIS_8,
+        HARDENED_FREEBSD,
+        SPEC_STRICT,
+        LEGACY_DELAYED_ACK,
+        ODDBALL_DUAL_RST,
+        ODDBALL_SILENT_SYN,
+    )
+}
+"""All built-in profiles, keyed by name."""
+
+
+def profile_by_name(name: str) -> OsProfile:
+    """Look up a built-in profile by name.
+
+    Raises
+    ------
+    KeyError
+        If no profile with that name exists.
+    """
+    try:
+        return OS_PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(OS_PROFILES))
+        raise KeyError(f"unknown OS profile {name!r}; known profiles: {known}") from None

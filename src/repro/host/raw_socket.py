@@ -1,0 +1,190 @@
+"""The probe host: a sting-style raw packet interface.
+
+The paper implemented its tests "as an extension to the sting tool":
+programmable packet filters let a user-level program craft and receive
+arbitrary IP packets without the kernel's stack interfering.
+:class:`ProbeHost` provides the simulated equivalent — send any packet,
+observe every packet arriving at the probe's address with a timestamp — and
+is the only interface the measurement techniques in :mod:`repro.core` use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+from repro.net.errors import SimulationError
+from repro.net.packet import Packet
+from repro.sim.simulator import Simulator
+
+TransmitFn = Callable[[Packet], None]
+
+
+@dataclass(frozen=True, slots=True)
+class CapturedPacket:
+    """A packet received by the probe host.
+
+    ``serial`` is the capture sequence number: it preserves arrival order even
+    when two packets carry identical simulated timestamps (for example after
+    an adjacent swap performed at a single instant), so ordering decisions
+    should compare serials rather than times.
+    """
+
+    time: float
+    packet: Packet
+    serial: int
+
+    def describe(self) -> str:
+        """Return a one-line rendering for logs."""
+        return f"{self.time:.9f} #{self.serial} {self.packet.describe()}"
+
+
+class ProbeHost:
+    """The measurement machine: raw send plus timestamped capture.
+
+    Port allocation is centralised here so that concurrently running tests
+    (and successive samples of the same test) never collide on a local port.
+    """
+
+    def __init__(self, sim: Simulator, address: int, first_port: int = 33000) -> None:
+        self._sim = sim
+        self.address = address
+        self._transmit: Optional[TransmitFn] = None
+        self._received: list[CapturedPacket] = []
+        self._next_port = first_port
+        self.packets_sent = 0
+
+    @property
+    def sim(self) -> Simulator:
+        """The simulator this probe host lives in."""
+        return self._sim
+
+    def set_transmit(self, transmit: TransmitFn) -> None:
+        """Provide the function that injects packets into the network."""
+        self._transmit = transmit
+
+    def allocate_port(self) -> int:
+        """Return a fresh local TCP source port."""
+        port = self._next_port
+        self._next_port += 1
+        if self._next_port > 65000:
+            self._next_port = 33000
+        return port
+
+    # ------------------------------------------------------------------ #
+    # Send / receive
+    # ------------------------------------------------------------------ #
+
+    def send(self, packet: Packet) -> None:
+        """Inject a crafted packet into the network."""
+        if self._transmit is None:
+            raise SimulationError("probe host transmit function not set; wire a topology first")
+        self.packets_sent += 1
+        self._transmit(packet)
+
+    def deliver(self, packet: Packet) -> None:
+        """Record a packet arriving from the network (called by the topology)."""
+        if packet.ip.dst != self.address:
+            return
+        self._received.append(
+            CapturedPacket(time=self._sim.now, packet=packet, serial=len(self._received))
+        )
+
+    @property
+    def received(self) -> tuple[CapturedPacket, ...]:
+        """Every packet captured so far, in arrival order."""
+        return tuple(self._received)
+
+    def received_count(self) -> int:
+        """Number of packets captured so far."""
+        return len(self._received)
+
+    def capture_cursor(self) -> int:
+        """Return a cursor marking the current end of the capture buffer."""
+        return len(self._received)
+
+    def captured_since(self, cursor: int) -> tuple[CapturedPacket, ...]:
+        """Return packets captured after the given cursor position."""
+        return tuple(self._received[cursor:])
+
+    def tcp_packets_since(
+        self,
+        cursor: int,
+        local_port: Optional[int] = None,
+        remote_addr: Optional[int] = None,
+    ) -> tuple[CapturedPacket, ...]:
+        """Return captured TCP packets after ``cursor`` filtered by port / peer."""
+        results = []
+        for captured in self._received[cursor:]:
+            packet = captured.packet
+            if not packet.is_tcp():
+                continue
+            assert packet.tcp is not None
+            if local_port is not None and packet.tcp.dst_port != local_port:
+                continue
+            if remote_addr is not None and packet.ip.src != remote_addr:
+                continue
+            results.append(captured)
+        return tuple(results)
+
+    def icmp_packets_since(self, cursor: int, remote_addr: Optional[int] = None) -> tuple[CapturedPacket, ...]:
+        """Return captured ICMP packets after ``cursor`` filtered by peer address."""
+        results = []
+        for captured in self._received[cursor:]:
+            packet = captured.packet
+            if not packet.is_icmp():
+                continue
+            if remote_addr is not None and packet.ip.src != remote_addr:
+                continue
+            results.append(captured)
+        return tuple(results)
+
+    def clear(self) -> None:
+        """Discard the capture buffer (useful between long campaign phases)."""
+        self._received.clear()
+
+    # ------------------------------------------------------------------ #
+    # Blocking-style helpers for the measurement techniques
+    # ------------------------------------------------------------------ #
+
+    def wait_for_packets(
+        self,
+        cursor: int,
+        count: int,
+        timeout: float,
+        local_port: Optional[int] = None,
+        remote_addr: Optional[int] = None,
+    ) -> tuple[CapturedPacket, ...]:
+        """Run the simulator until ``count`` matching TCP packets arrive or timeout.
+
+        Returns whatever matched, which may be fewer than ``count`` on
+        timeout — callers decide how to classify incomplete samples.
+        """
+
+        def _enough() -> bool:
+            return len(self.tcp_packets_since(cursor, local_port, remote_addr)) >= count
+
+        self._sim.run_until(_enough, timeout=timeout)
+        return self.tcp_packets_since(cursor, local_port, remote_addr)
+
+    def wait_for_predicate(self, predicate: Callable[[], bool], timeout: float) -> bool:
+        """Run the simulator until ``predicate`` holds or ``timeout`` elapses."""
+        return self._sim.run_until(predicate, timeout=timeout)
+
+    def wait_for_icmp(self, cursor: int, count: int, timeout: float, remote_addr: Optional[int] = None) -> tuple[CapturedPacket, ...]:
+        """Run the simulator until ``count`` ICMP packets arrive or timeout."""
+
+        def _enough() -> bool:
+            return len(self.icmp_packets_since(cursor, remote_addr)) >= count
+
+        self._sim.run_until(_enough, timeout=timeout)
+        return self.icmp_packets_since(cursor, remote_addr)
+
+    @staticmethod
+    def acks_of(captured: Iterable[CapturedPacket]) -> list[int]:
+        """Extract the acknowledgment numbers of captured TCP packets, in arrival order."""
+        values = []
+        for item in captured:
+            if item.packet.tcp is not None:
+                values.append(item.packet.tcp.ack)
+        return values

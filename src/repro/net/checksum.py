@@ -1,0 +1,80 @@
+"""The Internet checksum (RFC 1071) used by IPv4, TCP, and ICMP.
+
+The simulator does not strictly need checksums to function, but the wire
+serialization layer computes and verifies them so that traces captured from
+the simulator look like real traffic and so that corruption models have a
+well-defined notion of "detected" versus "undetected" errors.
+"""
+
+from __future__ import annotations
+
+
+def internet_checksum(data: bytes, initial: int = 0) -> int:
+    """Compute the 16-bit one's-complement Internet checksum of ``data``.
+
+    Parameters
+    ----------
+    data:
+        The byte string to checksum.  If its length is odd it is implicitly
+        padded with a trailing zero byte, as specified by RFC 1071.
+    initial:
+        A pre-accumulated 16-bit partial sum (useful for including a
+        pseudo-header without concatenating buffers).
+
+    Returns
+    -------
+    int
+        The checksum as an integer in ``[0, 0xFFFF]``.
+    """
+    if initial < 0 or initial > 0xFFFF:
+        raise ValueError(f"initial partial sum out of range: {initial}")
+    total = initial
+    length = len(data)
+    # Sum 16-bit big-endian words.
+    for i in range(0, length - 1, 2):
+        total += (data[i] << 8) | data[i + 1]
+    if length % 2:
+        total += data[-1] << 8
+    # Fold carries back into the low 16 bits.
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def verify_checksum(data: bytes, initial: int = 0) -> bool:
+    """Return ``True`` when ``data`` (including its checksum field) sums to zero.
+
+    A buffer whose embedded checksum is correct produces an all-ones
+    intermediate sum, so :func:`internet_checksum` over it returns zero.
+    """
+    return internet_checksum(data, initial=initial) == 0
+
+
+def pseudo_header_sum(src: int, dst: int, protocol: int, length: int) -> int:
+    """Compute the partial sum of a TCP/UDP pseudo header.
+
+    Parameters
+    ----------
+    src, dst:
+        Source and destination IPv4 addresses as 32-bit integers.
+    protocol:
+        IP protocol number (6 for TCP).
+    length:
+        Length of the transport header plus payload in bytes.
+
+    Returns
+    -------
+    int
+        A folded 16-bit partial sum suitable for the ``initial`` argument of
+        :func:`internet_checksum`.
+    """
+    total = 0
+    total += (src >> 16) & 0xFFFF
+    total += src & 0xFFFF
+    total += (dst >> 16) & 0xFFFF
+    total += dst & 0xFFFF
+    total += protocol & 0xFF
+    total += length & 0xFFFF
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return total

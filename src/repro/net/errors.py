@@ -1,0 +1,71 @@
+"""Exception hierarchy shared by the whole library.
+
+Every error raised by ``repro`` derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish packet-format problems, simulation misconfiguration, and
+measurement-level failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class PacketError(ReproError):
+    """Base class for packet construction / format errors."""
+
+
+class ParseError(PacketError):
+    """Raised when a byte buffer cannot be parsed into a packet."""
+
+
+class SerializationError(PacketError):
+    """Raised when a packet model cannot be serialized to bytes."""
+
+
+class ChecksumError(PacketError):
+    """Raised when checksum verification fails on a parsed packet."""
+
+
+class SimulationError(ReproError):
+    """Raised for simulator misconfiguration or invariant violations."""
+
+
+class TopologyError(SimulationError):
+    """Raised when a topology is malformed (unknown host, missing path...)."""
+
+
+class ClockError(SimulationError):
+    """Raised when time moves backwards or an event is scheduled in the past."""
+
+
+class HostError(ReproError):
+    """Base class for endpoint (TCP/IP stack) errors."""
+
+
+class TcpStateError(HostError):
+    """Raised when a TCP endpoint is driven through an illegal transition."""
+
+
+class MeasurementError(ReproError):
+    """Base class for measurement-technique failures."""
+
+
+class HostNotEligibleError(MeasurementError):
+    """Raised when a host fails a precondition for a measurement technique.
+
+    The canonical example is the dual-connection test being run against a
+    host whose IPID sequence is not shared and monotonic across connections
+    (pseudo-random IPIDs, constant zero IPIDs, or a transparent load
+    balancer).
+    """
+
+
+class SampleTimeoutError(MeasurementError):
+    """Raised when a measurement sample never completes within its timeout."""
+
+
+class AnalysisError(ReproError):
+    """Raised by the statistics / analysis layer on invalid input."""

@@ -1,0 +1,308 @@
+"""In-memory packet models: IPv4, TCP, and ICMP echo.
+
+These dataclasses are the currency of the whole library: the probe host
+crafts them, the simulator carries and reorders them, endpoints interpret
+them, and the trace capture records them.  They mirror the real header
+layouts closely enough that :mod:`repro.net.wire` can serialize them to valid
+byte strings.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.net.flow import FourTuple, format_address
+
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+ICMP_ECHO_REPLY = 0
+ICMP_ECHO_REQUEST = 8
+
+IPV4_HEADER_LEN = 20
+TCP_HEADER_LEN = 20
+ICMP_HEADER_LEN = 8
+
+DEFAULT_TTL = 64
+
+
+class TcpFlags(enum.IntFlag):
+    """TCP control flags (subset relevant to the measurement techniques)."""
+
+    NONE = 0
+    FIN = 0x01
+    SYN = 0x02
+    RST = 0x04
+    PSH = 0x08
+    ACK = 0x10
+    URG = 0x20
+
+    def describe(self) -> str:
+        """Return a compact human-readable flag string, e.g. ``"SYN|ACK"``."""
+        if self == TcpFlags.NONE:
+            return "-"
+        names = [flag.name for flag in TcpFlags if flag and flag in self and flag.name]
+        return "|".join(names)
+
+
+@dataclass(frozen=True, slots=True)
+class TcpOption:
+    """A single TCP option as (kind, data) — enough for MSS and SACK-permitted."""
+
+    kind: int
+    data: bytes = b""
+
+    KIND_EOL = 0
+    KIND_NOP = 1
+    KIND_MSS = 2
+    KIND_SACK_PERMITTED = 4
+    KIND_SACK = 5
+
+    @classmethod
+    def mss(cls, value: int) -> "TcpOption":
+        """Build a Maximum Segment Size option advertising ``value`` bytes."""
+        if value < 0 or value > 0xFFFF:
+            raise ValueError(f"MSS out of range: {value}")
+        return cls(cls.KIND_MSS, value.to_bytes(2, "big"))
+
+    def mss_value(self) -> int:
+        """Decode the MSS value carried by this option."""
+        if self.kind != self.KIND_MSS or len(self.data) != 2:
+            raise ValueError("not an MSS option")
+        return int.from_bytes(self.data, "big")
+
+    def encoded_length(self) -> int:
+        """Return the option's on-the-wire length in bytes."""
+        if self.kind in (self.KIND_EOL, self.KIND_NOP):
+            return 1
+        return 2 + len(self.data)
+
+
+@dataclass(frozen=True, slots=True)
+class IPv4Header:
+    """The IPv4 fields the library cares about.
+
+    ``ident`` is the IP identification field (IPID) at the heart of the dual
+    connection test; everything else exists so that serialized packets are
+    well-formed and so path elements can reason about sizes and TTLs.
+    """
+
+    src: int
+    dst: int
+    protocol: int
+    ident: int = 0
+    ttl: int = DEFAULT_TTL
+    dont_fragment: bool = True
+    tos: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.ident <= 0xFFFF:
+            raise ValueError(f"IPID out of range: {self.ident}")
+        if not 0 <= self.ttl <= 255:
+            raise ValueError(f"TTL out of range: {self.ttl}")
+        if not 0 <= self.protocol <= 255:
+            raise ValueError(f"protocol out of range: {self.protocol}")
+
+    def header_length(self) -> int:
+        """Return the header length in bytes (no options are modelled)."""
+        return IPV4_HEADER_LEN
+
+
+@dataclass(frozen=True, slots=True)
+class TcpHeader:
+    """TCP header fields used by the measurement techniques."""
+
+    src_port: int
+    dst_port: int
+    seq: int = 0
+    ack: int = 0
+    flags: TcpFlags = TcpFlags.NONE
+    window: int = 65535
+    urgent: int = 0
+    options: tuple[TcpOption, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("src_port", "dst_port"):
+            port = getattr(self, name)
+            if not 0 <= port <= 0xFFFF:
+                raise ValueError(f"{name} out of range: {port}")
+        for name in ("seq", "ack"):
+            value = getattr(self, name)
+            if not 0 <= value <= 0xFFFFFFFF:
+                raise ValueError(f"{name} out of range: {value}")
+        if not 0 <= self.window <= 0xFFFF:
+            raise ValueError(f"window out of range: {self.window}")
+
+    def header_length(self) -> int:
+        """Return the TCP header length in bytes, options padded to 32 bits."""
+        option_bytes = sum(opt.encoded_length() for opt in self.options)
+        padded = (option_bytes + 3) // 4 * 4
+        return TCP_HEADER_LEN + padded
+
+    def has(self, flag: TcpFlags) -> bool:
+        """Return True when ``flag`` is set on this segment."""
+        return bool(self.flags & flag)
+
+    def find_option(self, kind: int) -> Optional[TcpOption]:
+        """Return the first option of the given kind, or None."""
+        for option in self.options:
+            if option.kind == kind:
+                return option
+        return None
+
+    def mss(self) -> Optional[int]:
+        """Return the advertised MSS if present."""
+        option = self.find_option(TcpOption.KIND_MSS)
+        return option.mss_value() if option is not None else None
+
+
+@dataclass(frozen=True, slots=True)
+class IcmpEcho:
+    """An ICMP echo request or reply (used by the Bennett-style baseline)."""
+
+    icmp_type: int
+    identifier: int
+    sequence: int
+    payload: bytes = b""
+
+    def __post_init__(self) -> None:
+        if self.icmp_type not in (ICMP_ECHO_REQUEST, ICMP_ECHO_REPLY):
+            raise ValueError(f"unsupported ICMP type: {self.icmp_type}")
+        for name in ("identifier", "sequence"):
+            value = getattr(self, name)
+            if not 0 <= value <= 0xFFFF:
+                raise ValueError(f"{name} out of range: {value}")
+
+    def is_request(self) -> bool:
+        """Return True for an echo request."""
+        return self.icmp_type == ICMP_ECHO_REQUEST
+
+    def header_length(self) -> int:
+        """Return the ICMP echo header length in bytes."""
+        return ICMP_HEADER_LEN
+
+
+_PACKET_COUNTER = 0
+
+
+def _next_packet_uid() -> int:
+    """Return a process-wide unique identifier for ground-truth tracking."""
+    global _PACKET_COUNTER
+    _PACKET_COUNTER += 1
+    return _PACKET_COUNTER
+
+
+@dataclass(slots=True)
+class Packet:
+    """A complete packet: IP header plus one transport header plus payload.
+
+    ``uid`` is *not* an on-the-wire field: it is a monotonically increasing
+    identifier assigned at construction time that lets the trace capture and
+    the validation harness establish ground truth about send order without
+    consulting any header the network could legitimately rewrite.
+    """
+
+    ip: IPv4Header
+    tcp: Optional[TcpHeader] = None
+    icmp: Optional[IcmpEcho] = None
+    payload: bytes = b""
+    uid: int = field(default_factory=_next_packet_uid)
+
+    def __post_init__(self) -> None:
+        if self.tcp is not None and self.icmp is not None:
+            raise ValueError("packet cannot carry both TCP and ICMP")
+        if self.tcp is not None and self.ip.protocol != PROTO_TCP:
+            raise ValueError("TCP payload requires protocol 6")
+        if self.icmp is not None and self.ip.protocol != PROTO_ICMP:
+            raise ValueError("ICMP payload requires protocol 1")
+
+    @classmethod
+    def tcp_packet(
+        cls,
+        src: int,
+        dst: int,
+        tcp: TcpHeader,
+        payload: bytes = b"",
+        ident: int = 0,
+        ttl: int = DEFAULT_TTL,
+    ) -> "Packet":
+        """Convenience constructor for a TCP/IPv4 packet."""
+        ip = IPv4Header(src=src, dst=dst, protocol=PROTO_TCP, ident=ident, ttl=ttl)
+        return cls(ip=ip, tcp=tcp, payload=payload)
+
+    @classmethod
+    def icmp_packet(
+        cls,
+        src: int,
+        dst: int,
+        icmp: IcmpEcho,
+        ident: int = 0,
+        ttl: int = DEFAULT_TTL,
+    ) -> "Packet":
+        """Convenience constructor for an ICMP/IPv4 packet."""
+        ip = IPv4Header(src=src, dst=dst, protocol=PROTO_ICMP, ident=ident, ttl=ttl)
+        return cls(ip=ip, icmp=icmp, payload=icmp.payload)
+
+    def is_tcp(self) -> bool:
+        """Return True when the packet carries a TCP segment."""
+        return self.tcp is not None
+
+    def is_icmp(self) -> bool:
+        """Return True when the packet carries an ICMP message."""
+        return self.icmp is not None
+
+    def four_tuple(self) -> FourTuple:
+        """Return the directed transport four-tuple (TCP packets only)."""
+        if self.tcp is None:
+            raise ValueError("four_tuple() requires a TCP packet")
+        return FourTuple(self.ip.src, self.tcp.src_port, self.ip.dst, self.tcp.dst_port)
+
+    def total_length(self) -> int:
+        """Return the packet's total length in bytes as it would appear on the wire."""
+        length = self.ip.header_length()
+        if self.tcp is not None:
+            length += self.tcp.header_length() + len(self.payload)
+        elif self.icmp is not None:
+            length += self.icmp.header_length() + len(self.icmp.payload)
+        else:
+            length += len(self.payload)
+        return length
+
+    def with_ip(self, **changes: object) -> "Packet":
+        """Return a copy of this packet with selected IP header fields replaced.
+
+        The copy keeps the original ``uid`` so that ground-truth tracking
+        survives header rewriting by middleboxes (e.g. TTL decrement).
+        """
+        return Packet(
+            ip=replace(self.ip, **changes),  # type: ignore[arg-type]
+            tcp=self.tcp,
+            icmp=self.icmp,
+            payload=self.payload,
+            uid=self.uid,
+        )
+
+    def clone(self) -> "Packet":
+        """Return a copy of this packet with a fresh ``uid`` (a re-send, not a forward)."""
+        return Packet(ip=self.ip, tcp=self.tcp, icmp=self.icmp, payload=self.payload)
+
+    def describe(self) -> str:
+        """Return a single-line human-readable summary for logs and traces."""
+        src = format_address(self.ip.src)
+        dst = format_address(self.ip.dst)
+        if self.tcp is not None:
+            return (
+                f"TCP {src}:{self.tcp.src_port} > {dst}:{self.tcp.dst_port} "
+                f"[{self.tcp.flags.describe()}] seq={self.tcp.seq} ack={self.tcp.ack} "
+                f"ipid={self.ip.ident} len={len(self.payload)}"
+            )
+        if self.icmp is not None:
+            kind = "echo-request" if self.icmp.is_request() else "echo-reply"
+            return (
+                f"ICMP {src} > {dst} {kind} id={self.icmp.identifier} "
+                f"seq={self.icmp.sequence} ipid={self.ip.ident}"
+            )
+        return f"IP {src} > {dst} proto={self.ip.protocol} len={len(self.payload)}"

@@ -1,0 +1,88 @@
+"""32-bit TCP sequence-number arithmetic (RFC 793 / RFC 1982 style).
+
+TCP sequence numbers and IPID counters live in modular spaces.  All
+comparisons in the measurement code go through these helpers so that
+wraparound (explicitly called out by the paper for IPID: "modulo wraparound,
+which is easily detected") is handled uniformly.
+"""
+
+from __future__ import annotations
+
+SEQ_MODULO = 1 << 32
+"""Size of the TCP sequence-number space."""
+
+IPID_MODULO = 1 << 16
+"""Size of the IP identification-field space."""
+
+_HALF = SEQ_MODULO // 2
+
+
+def seq_add(seq: int, delta: int, modulo: int = SEQ_MODULO) -> int:
+    """Return ``seq + delta`` wrapped into ``[0, modulo)``."""
+    return (seq + delta) % modulo
+
+
+def seq_diff(a: int, b: int, modulo: int = SEQ_MODULO) -> int:
+    """Return the signed modular distance from ``b`` to ``a``.
+
+    The result is in ``(-modulo/2, modulo/2]`` and answers "how far ahead of
+    ``b`` is ``a``", treating the shorter way around the circle as the true
+    distance.  ``seq_diff(5, 2) == 3`` and ``seq_diff(2, 5) == -3`` even
+    across a wrap.
+    """
+    half = modulo // 2
+    diff = (a - b) % modulo
+    if diff > half:
+        diff -= modulo
+    return diff
+
+
+def seq_lt(a: int, b: int, modulo: int = SEQ_MODULO) -> bool:
+    """Return True when ``a`` precedes ``b`` in modular order."""
+    return seq_diff(a, b, modulo) < 0
+
+
+def seq_le(a: int, b: int, modulo: int = SEQ_MODULO) -> bool:
+    """Return True when ``a`` precedes or equals ``b`` in modular order."""
+    return seq_diff(a, b, modulo) <= 0
+
+
+def seq_gt(a: int, b: int, modulo: int = SEQ_MODULO) -> bool:
+    """Return True when ``a`` follows ``b`` in modular order."""
+    return seq_diff(a, b, modulo) > 0
+
+
+def seq_ge(a: int, b: int, modulo: int = SEQ_MODULO) -> bool:
+    """Return True when ``a`` follows or equals ``b`` in modular order."""
+    return seq_diff(a, b, modulo) >= 0
+
+
+def seq_between(low: int, value: int, high: int, modulo: int = SEQ_MODULO) -> bool:
+    """Return True when ``value`` lies in the half-open modular window ``[low, high)``.
+
+    This is the window test TCP uses to decide whether a segment is
+    acceptable; the SYN-test classification relies on it to model the
+    specification-following "second SYN inside the window" behaviour.
+    """
+    low %= modulo
+    value %= modulo
+    high %= modulo
+    if low == high:
+        return False
+    if low < high:
+        return low <= value < high
+    return value >= low or value < high
+
+
+def ipid_diff(a: int, b: int) -> int:
+    """Signed modular distance between two IPID values (16-bit space)."""
+    return seq_diff(a, b, IPID_MODULO)
+
+
+def ipid_lt(a: int, b: int) -> bool:
+    """Return True when IPID ``a`` was generated before IPID ``b``.
+
+    Valid only under the traditional global-counter IPID policy; callers
+    must validate monotonicity first (see :mod:`repro.core.ipid_validation`).
+    """
+    return ipid_diff(a, b) < 0

@@ -1,0 +1,232 @@
+"""Byte-level serialization and parsing of the packet models.
+
+The simulator itself moves :class:`~repro.net.packet.Packet` objects around,
+but the trace subsystem can persist packets in wire format and the test suite
+uses round-tripping through bytes as a strong structural invariant (any field
+the measurement techniques rely on must survive serialization).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.net.checksum import internet_checksum, pseudo_header_sum
+from repro.net.errors import ParseError, SerializationError
+from repro.net.packet import (
+    ICMP_ECHO_REPLY,
+    ICMP_ECHO_REQUEST,
+    IPV4_HEADER_LEN,
+    PROTO_ICMP,
+    PROTO_TCP,
+    IcmpEcho,
+    IPv4Header,
+    Packet,
+    TcpFlags,
+    TcpHeader,
+    TcpOption,
+)
+
+_IP_FORMAT = "!BBHHHBBHII"
+_TCP_FORMAT = "!HHIIBBHHH"
+_ICMP_FORMAT = "!BBHHH"
+
+_FLAG_DF = 0x4000
+
+
+def _serialize_options(options: tuple[TcpOption, ...]) -> bytes:
+    parts: list[bytes] = []
+    for option in options:
+        if option.kind in (TcpOption.KIND_EOL, TcpOption.KIND_NOP):
+            parts.append(bytes([option.kind]))
+        else:
+            length = 2 + len(option.data)
+            if length > 255:
+                raise SerializationError(f"TCP option too long: {length} bytes")
+            parts.append(bytes([option.kind, length]) + option.data)
+    raw = b"".join(parts)
+    padding = (-len(raw)) % 4
+    return raw + b"\x01" * padding
+
+
+def _parse_options(raw: bytes) -> tuple[TcpOption, ...]:
+    options: list[TcpOption] = []
+    index = 0
+    while index < len(raw):
+        kind = raw[index]
+        if kind == TcpOption.KIND_EOL:
+            break
+        if kind == TcpOption.KIND_NOP:
+            index += 1
+            continue
+        if index + 1 >= len(raw):
+            raise ParseError("truncated TCP option header")
+        length = raw[index + 1]
+        if length < 2 or index + length > len(raw):
+            raise ParseError(f"bad TCP option length {length}")
+        options.append(TcpOption(kind, raw[index + 2 : index + length]))
+        index += length
+    return tuple(options)
+
+
+def serialize_packet(packet: Packet) -> bytes:
+    """Serialize a packet model to on-the-wire bytes with valid checksums."""
+    if packet.tcp is not None:
+        transport = _serialize_tcp(packet)
+    elif packet.icmp is not None:
+        transport = _serialize_icmp(packet.icmp)
+    else:
+        transport = packet.payload
+
+    total_length = IPV4_HEADER_LEN + len(transport)
+    if total_length > 0xFFFF:
+        raise SerializationError(f"packet too large: {total_length} bytes")
+    flags_fragment = _FLAG_DF if packet.ip.dont_fragment else 0
+    header_without_checksum = struct.pack(
+        _IP_FORMAT,
+        (4 << 4) | 5,
+        packet.ip.tos,
+        total_length,
+        packet.ip.ident,
+        flags_fragment,
+        packet.ip.ttl,
+        packet.ip.protocol,
+        0,
+        packet.ip.src,
+        packet.ip.dst,
+    )
+    checksum = internet_checksum(header_without_checksum)
+    header = header_without_checksum[:10] + struct.pack("!H", checksum) + header_without_checksum[12:]
+    return header + transport
+
+
+def _serialize_tcp(packet: Packet) -> bytes:
+    tcp = packet.tcp
+    assert tcp is not None
+    options = _serialize_options(tcp.options)
+    data_offset = (20 + len(options)) // 4
+    segment_without_checksum = (
+        struct.pack(
+            _TCP_FORMAT,
+            tcp.src_port,
+            tcp.dst_port,
+            tcp.seq,
+            tcp.ack,
+            data_offset << 4,
+            int(tcp.flags),
+            tcp.window,
+            0,
+            tcp.urgent,
+        )
+        + options
+        + packet.payload
+    )
+    pseudo = pseudo_header_sum(packet.ip.src, packet.ip.dst, PROTO_TCP, len(segment_without_checksum))
+    checksum = internet_checksum(segment_without_checksum, initial=pseudo)
+    return (
+        segment_without_checksum[:16]
+        + struct.pack("!H", checksum)
+        + segment_without_checksum[18:]
+    )
+
+
+def _serialize_icmp(icmp: IcmpEcho) -> bytes:
+    message_without_checksum = (
+        struct.pack(_ICMP_FORMAT, icmp.icmp_type, 0, 0, icmp.identifier, icmp.sequence)
+        + icmp.payload
+    )
+    checksum = internet_checksum(message_without_checksum)
+    return (
+        message_without_checksum[:2]
+        + struct.pack("!H", checksum)
+        + message_without_checksum[4:]
+    )
+
+
+def parse_packet(data: bytes) -> Packet:
+    """Parse wire bytes back into a packet model.
+
+    Raises
+    ------
+    ParseError
+        If the buffer is truncated, has an unsupported IP version or header
+        length, or carries a transport protocol other than TCP or ICMP echo.
+    """
+    if len(data) < IPV4_HEADER_LEN:
+        raise ParseError(f"buffer too short for IPv4 header: {len(data)} bytes")
+    (
+        version_ihl,
+        tos,
+        total_length,
+        ident,
+        flags_fragment,
+        ttl,
+        protocol,
+        _checksum,
+        src,
+        dst,
+    ) = struct.unpack(_IP_FORMAT, data[:IPV4_HEADER_LEN])
+    version = version_ihl >> 4
+    ihl = (version_ihl & 0x0F) * 4
+    if version != 4:
+        raise ParseError(f"unsupported IP version: {version}")
+    if ihl != IPV4_HEADER_LEN:
+        raise ParseError(f"IP options are not supported (ihl={ihl})")
+    if total_length > len(data):
+        raise ParseError("IP total length exceeds buffer")
+    body = data[IPV4_HEADER_LEN:total_length]
+    ip = IPv4Header(
+        src=src,
+        dst=dst,
+        protocol=protocol,
+        ident=ident,
+        ttl=ttl,
+        dont_fragment=bool(flags_fragment & _FLAG_DF),
+        tos=tos,
+    )
+    if protocol == PROTO_TCP:
+        tcp, payload = _parse_tcp(body)
+        return Packet(ip=ip, tcp=tcp, payload=payload)
+    if protocol == PROTO_ICMP:
+        icmp = _parse_icmp(body)
+        return Packet(ip=ip, icmp=icmp, payload=icmp.payload)
+    raise ParseError(f"unsupported transport protocol: {protocol}")
+
+
+def _parse_tcp(body: bytes) -> tuple[TcpHeader, bytes]:
+    if len(body) < 20:
+        raise ParseError(f"buffer too short for TCP header: {len(body)} bytes")
+    (
+        src_port,
+        dst_port,
+        seq,
+        ack,
+        offset_reserved,
+        flags,
+        window,
+        _checksum,
+        urgent,
+    ) = struct.unpack(_TCP_FORMAT, body[:20])
+    header_length = (offset_reserved >> 4) * 4
+    if header_length < 20 or header_length > len(body):
+        raise ParseError(f"bad TCP data offset: {header_length}")
+    options = _parse_options(body[20:header_length])
+    tcp = TcpHeader(
+        src_port=src_port,
+        dst_port=dst_port,
+        seq=seq,
+        ack=ack,
+        flags=TcpFlags(flags),
+        window=window,
+        urgent=urgent,
+        options=options,
+    )
+    return tcp, body[header_length:]
+
+
+def _parse_icmp(body: bytes) -> IcmpEcho:
+    if len(body) < 8:
+        raise ParseError(f"buffer too short for ICMP echo: {len(body)} bytes")
+    icmp_type, code, _checksum, identifier, sequence = struct.unpack(_ICMP_FORMAT, body[:8])
+    if icmp_type not in (ICMP_ECHO_REQUEST, ICMP_ECHO_REPLY) or code != 0:
+        raise ParseError(f"unsupported ICMP type/code: {icmp_type}/{code}")
+    return IcmpEcho(icmp_type=icmp_type, identifier=identifier, sequence=sequence, payload=body[8:])

@@ -1,0 +1,49 @@
+"""Discrete-event network simulation substrate.
+
+The paper's measurements ran against the real Internet; this package provides
+the stand-in: a deterministic, seedable discrete-event simulator with links,
+queues, reordering elements (including a faithful model of the modified
+dummynet used for controlled validation and a parallel-queue striping model
+that reproduces the gap-dependent reordering of Figure 7), middleboxes, and
+trace capture for ground truth.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.events import Event, EventQueue
+from repro.sim.link import Link
+from repro.sim.middlebox import IcmpRateLimiter, LoadBalancer
+from repro.sim.path import DuplexPath, Pipeline
+from repro.sim.queueing import DropTailQueue
+from repro.sim.random import SeededRandom
+from repro.sim.reorder import (
+    AdjacentSwapReorderer,
+    DelayJitterReorderer,
+    LossElement,
+    PassthroughElement,
+)
+from repro.sim.simulator import Simulator
+from repro.sim.striping import StripedPathModel
+from repro.sim.topology import Topology
+from repro.sim.trace import TraceCapture, TraceRecord
+
+__all__ = [
+    "AdjacentSwapReorderer",
+    "DelayJitterReorderer",
+    "DropTailQueue",
+    "DuplexPath",
+    "Event",
+    "EventQueue",
+    "IcmpRateLimiter",
+    "Link",
+    "LoadBalancer",
+    "LossElement",
+    "PassthroughElement",
+    "Pipeline",
+    "SeededRandom",
+    "SimClock",
+    "Simulator",
+    "StripedPathModel",
+    "Topology",
+    "TraceCapture",
+    "TraceRecord",
+]

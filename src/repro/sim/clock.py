@@ -1,0 +1,38 @@
+"""The simulated clock.
+
+All timestamps in the library are floating-point seconds of simulated time.
+The clock only ever moves forward; the event loop is the sole writer.
+"""
+
+from __future__ import annotations
+
+from repro.net.errors import ClockError
+
+
+class SimClock:
+    """Monotonic simulated clock, advanced only by the event loop."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0.0:
+            raise ClockError(f"clock cannot start before zero: {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance_to(self, when: float) -> None:
+        """Move the clock forward to ``when``.
+
+        Raises
+        ------
+        ClockError
+            If ``when`` precedes the current time.
+        """
+        if when < self._now:
+            raise ClockError(f"time cannot move backwards: {when} < {self._now}")
+        self._now = when
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.9f})"

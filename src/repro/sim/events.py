@@ -1,0 +1,86 @@
+"""The event queue underlying the simulator.
+
+Events are ordered by (time, insertion sequence) so that simultaneous events
+fire in the order they were scheduled, which keeps runs fully deterministic
+for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.net.errors import SimulationError
+
+EventCallback = Callable[[], None]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    ``cancelled`` events stay in the heap but are skipped when popped, which
+    makes cancellation O(1) — the standard lazy-deletion trick.
+    """
+
+    time: float
+    sequence: int
+    callback: EventCallback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark this event so the event loop skips it."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def is_empty(self) -> bool:
+        """Return True when no live (non-cancelled) events remain."""
+        return self._live == 0
+
+    def push(self, time: float, callback: EventCallback) -> Event:
+        """Schedule ``callback`` at absolute simulated ``time`` and return the event."""
+        if time < 0.0:
+            raise SimulationError(f"cannot schedule an event before time zero: {time}")
+        event = Event(time=time, sequence=next(self._counter), callback=callback)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously pushed event (idempotent)."""
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def peek_time(self) -> Optional[float]:
+        """Return the firing time of the next live event, or None when empty."""
+        self._discard_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next live event, or None when empty."""
+        self._discard_cancelled()
+        if not self._heap:
+            return None
+        event = heapq.heappop(self._heap)
+        self._live -= 1
+        return event
+
+    def _discard_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

@@ -1,0 +1,131 @@
+"""Middleboxes: transparent load balancers and ICMP rate limiters.
+
+The paper identifies transparent load balancers as the failure mode of the
+dual-connection test (each connection may land on a different backend with
+its own IPID counter) and ICMP filtering / rate limiting as a weakness of
+ping-based methodologies such as Bennett et al.'s.  Both are modelled here so
+the reproduction can demonstrate those failure modes and the mitigations
+(IPID validation, the SYN test).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+from repro.net.flow import FlowKey
+from repro.net.packet import PROTO_ICMP, Packet
+from repro.sim.path import PathElement
+from repro.sim.simulator import Simulator
+
+
+class Site(Protocol):
+    """Anything that can terminate traffic for an address: a host or a cluster."""
+
+    def deliver(self, packet: Packet) -> None:
+        """Accept a packet arriving from the network."""
+
+
+class LoadBalancer:
+    """A transparent per-flow load balancer in front of several backend hosts.
+
+    Flows are assigned to backends by hashing the direction-agnostic flow key
+    (the common "hash on the four-tuple" strategy the paper describes), so
+    every packet of a TCP connection — including both SYNs of the SYN test —
+    reaches the same backend, while two distinct connections will frequently
+    land on different backends.
+    """
+
+    def __init__(self, backends: Sequence[Site], hash_salt: int = 0) -> None:
+        if not backends:
+            raise ValueError("load balancer requires at least one backend")
+        self._backends = list(backends)
+        self._hash_salt = hash_salt
+        self.flows_assigned: dict[FlowKey, int] = {}
+        self.packets_forwarded = 0
+        self.non_tcp_packets = 0
+
+    @property
+    def backends(self) -> tuple[Site, ...]:
+        """The backend sites behind this balancer."""
+        return tuple(self._backends)
+
+    def backend_for_flow(self, key: FlowKey) -> int:
+        """Return the index of the backend serving the given flow."""
+        material = (key.addr_a, key.port_a, key.addr_b, key.port_b, self._hash_salt)
+        return hash(material) % len(self._backends)
+
+    def deliver(self, packet: Packet) -> None:
+        """Forward a packet to the backend owning its flow."""
+        self.packets_forwarded += 1
+        if packet.is_tcp():
+            key = packet.four_tuple().flow_key()
+            index = self.backend_for_flow(key)
+            self.flows_assigned[key] = index
+        else:
+            # Non-TCP traffic (e.g. ICMP echo) has no flow; send it to the
+            # first backend, which is what a VIP-level responder would do.
+            self.non_tcp_packets += 1
+            index = 0
+        self._backends[index].deliver(packet)
+
+
+class IcmpRateLimiter(PathElement):
+    """Token-bucket rate limiter applied to ICMP packets only.
+
+    TCP traffic passes untouched; ICMP packets beyond the sustained rate are
+    silently dropped, which is how many operators deploy ICMP limiting and
+    why ping-based reordering measurements can silently lose samples.
+    """
+
+    def __init__(
+        self,
+        rate_per_second: float,
+        burst: int = 5,
+    ) -> None:
+        super().__init__()
+        if rate_per_second <= 0.0:
+            raise ValueError(f"rate must be positive: {rate_per_second}")
+        if burst < 1:
+            raise ValueError(f"burst must be at least one packet: {burst}")
+        self.rate_per_second = rate_per_second
+        self.burst = burst
+        self._tokens = float(burst)
+        self._last_refill = 0.0
+        self.icmp_dropped = 0
+        self.icmp_forwarded = 0
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._last_refill)
+        self._tokens = min(float(self.burst), self._tokens + elapsed * self.rate_per_second)
+        self._last_refill = now
+
+    def handle_packet(self, packet: Packet) -> None:
+        if packet.ip.protocol != PROTO_ICMP:
+            self._emit(packet)
+            return
+        self._refill(self.sim.now)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            self.icmp_forwarded += 1
+            self._emit(packet)
+        else:
+            self.icmp_dropped += 1
+
+
+class IcmpFilter(PathElement):
+    """Drops all ICMP traffic (a site that does not answer ping at all)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.icmp_dropped = 0
+
+    def handle_packet(self, packet: Packet) -> None:
+        if packet.ip.protocol == PROTO_ICMP:
+            self.icmp_dropped += 1
+            return
+        self._emit(packet)
+
+
+def attach_site(sim: Simulator, site: Site) -> None:
+    """No-op hook kept for API symmetry; sites are passive receivers."""
+    del sim, site

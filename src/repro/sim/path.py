@@ -1,0 +1,132 @@
+"""Path elements and pipelines.
+
+A path element is a unidirectional packet processor: it receives a packet,
+possibly delays / drops / reorders it, and emits it downstream.  Elements are
+chained into a :class:`Pipeline`; a :class:`DuplexPath` holds one pipeline per
+direction, which is exactly the shape of the paper's experiments (independent
+forward-path and reverse-path reordering processes).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Optional, Sequence
+
+from repro.net.errors import SimulationError
+from repro.net.packet import Packet
+from repro.sim.simulator import Simulator
+
+PacketSink = Callable[[Packet], None]
+
+
+class PathElement(ABC):
+    """Base class for all unidirectional path elements.
+
+    Subclasses implement :meth:`handle_packet` and use :meth:`_emit` /
+    :meth:`_emit_after` to pass packets downstream.  An element must be
+    attached (to a simulator and a downstream sink) before it sees traffic.
+    """
+
+    def __init__(self) -> None:
+        self._sim: Optional[Simulator] = None
+        self._downstream: Optional[PacketSink] = None
+
+    def attach(self, sim: Simulator, downstream: PacketSink) -> None:
+        """Bind this element to a simulator and its downstream sink."""
+        self._sim = sim
+        self._downstream = downstream
+        self._on_attached()
+
+    def _on_attached(self) -> None:
+        """Hook for subclasses that need setup after attachment."""
+
+    @property
+    def sim(self) -> Simulator:
+        """The simulator this element is attached to."""
+        if self._sim is None:
+            raise SimulationError(f"{type(self).__name__} used before attach()")
+        return self._sim
+
+    @abstractmethod
+    def handle_packet(self, packet: Packet) -> None:
+        """Process one packet travelling through this element."""
+
+    def _emit(self, packet: Packet) -> None:
+        """Deliver ``packet`` to the downstream sink immediately."""
+        if self._downstream is None:
+            raise SimulationError(f"{type(self).__name__} has no downstream sink")
+        self._downstream(packet)
+
+    def _emit_after(self, delay: float, packet: Packet) -> None:
+        """Deliver ``packet`` downstream after ``delay`` seconds."""
+        if delay <= 0.0:
+            self._emit(packet)
+            return
+        self.sim.schedule(delay, lambda: self._emit(packet))
+
+    def _emit_at(self, when: float, packet: Packet) -> None:
+        """Deliver ``packet`` downstream at absolute simulated time ``when``."""
+        if when <= self.sim.now:
+            self._emit(packet)
+            return
+        self.sim.schedule_at(when, lambda: self._emit(packet))
+
+
+class Pipeline:
+    """An ordered chain of path elements ending in a final sink."""
+
+    def __init__(self, elements: Sequence[PathElement] = ()) -> None:
+        self._elements: list[PathElement] = list(elements)
+        self._sink: Optional[PacketSink] = None
+        self._sim: Optional[Simulator] = None
+
+    @property
+    def elements(self) -> tuple[PathElement, ...]:
+        """The elements of this pipeline, upstream first."""
+        return tuple(self._elements)
+
+    def append(self, element: PathElement) -> None:
+        """Add an element at the downstream end (before the final sink)."""
+        if self._sink is not None:
+            raise SimulationError("cannot modify a pipeline after attach()")
+        self._elements.append(element)
+
+    def attach(self, sim: Simulator, sink: PacketSink) -> None:
+        """Wire up all elements so traffic flows element-to-element into ``sink``."""
+        self._sim = sim
+        self._sink = sink
+        downstream: PacketSink = sink
+        for element in reversed(self._elements):
+            element.attach(sim, downstream)
+            downstream = element.handle_packet
+
+    def handle_packet(self, packet: Packet) -> None:
+        """Inject a packet at the upstream end of the pipeline."""
+        if self._sink is None:
+            raise SimulationError("pipeline used before attach()")
+        if self._elements:
+            self._elements[0].handle_packet(packet)
+        else:
+            self._sink(packet)
+
+
+class DuplexPath:
+    """A forward pipeline and a reverse pipeline between two endpoints.
+
+    The forward direction is probe-to-server; the reverse direction is
+    server-to-probe, mirroring the paper's one-way measurement framing.
+    """
+
+    def __init__(self, forward: Pipeline, reverse: Pipeline) -> None:
+        self.forward = forward
+        self.reverse = reverse
+
+    @classmethod
+    def symmetric(cls, forward_elements: Sequence[PathElement], reverse_elements: Sequence[PathElement]) -> "DuplexPath":
+        """Build a duplex path from two independent element lists."""
+        return cls(Pipeline(forward_elements), Pipeline(reverse_elements))
+
+    def attach(self, sim: Simulator, forward_sink: PacketSink, reverse_sink: PacketSink) -> None:
+        """Attach both pipelines: forward traffic into the server, reverse into the probe."""
+        self.forward.attach(sim, forward_sink)
+        self.reverse.attach(sim, reverse_sink)

@@ -1,0 +1,137 @@
+"""The discrete-event simulator driving every experiment in the library.
+
+The measurement techniques are written in a simple blocking style: send some
+packets, then ``run_until`` a reply (or a timeout) arrives.  Because the event
+loop is deterministic and single-threaded, this gives reproducible experiments
+without coroutine machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.errors import SimulationError
+from repro.sim.clock import SimClock
+from repro.sim.events import Event, EventQueue
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    A single :class:`Simulator` instance owns the clock and the event queue
+    for one experiment.  Network elements schedule packet deliveries on it;
+    measurement code advances it with :meth:`run_until`, :meth:`run_for`, or
+    :meth:`run_until_idle`.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._clock = SimClock(start_time)
+        self._events = EventQueue()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._clock.now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live events waiting to fire."""
+        return len(self._events)
+
+    @property
+    def processed_events(self) -> int:
+        """Total number of events executed so far."""
+        return self._processed
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+        if delay < 0.0:
+            raise SimulationError(f"delay cannot be negative: {delay}")
+        return self._events.push(self.now + delay, callback)
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to fire at absolute simulated time ``when``."""
+        if when < self.now:
+            raise SimulationError(f"cannot schedule in the past: {when} < {self.now}")
+        return self._events.push(when, callback)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event."""
+        self._events.cancel(event)
+
+    def step(self) -> bool:
+        """Execute the next event.  Return False when the queue is empty."""
+        event = self._events.pop()
+        if event is None:
+            return False
+        self._clock.advance_to(event.time)
+        self._processed += 1
+        event.callback()
+        return True
+
+    def run_until_idle(self, max_time: Optional[float] = None) -> None:
+        """Run until no events remain, or until simulated time exceeds ``max_time``."""
+        while True:
+            next_time = self._events.peek_time()
+            if next_time is None:
+                return
+            if max_time is not None and next_time > max_time:
+                self._clock.advance_to(max_time)
+                return
+            self.step()
+
+    def run_for(self, duration: float) -> None:
+        """Run for ``duration`` seconds of simulated time."""
+        if duration < 0.0:
+            raise SimulationError(f"duration cannot be negative: {duration}")
+        deadline = self.now + duration
+        self.run_until_time(deadline)
+
+    def run_until_time(self, deadline: float) -> None:
+        """Run all events up to and including ``deadline``, then set the clock there."""
+        if deadline < self.now:
+            raise SimulationError(f"deadline is in the past: {deadline} < {self.now}")
+        while True:
+            next_time = self._events.peek_time()
+            if next_time is None or next_time > deadline:
+                self._clock.advance_to(deadline)
+                return
+            self.step()
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        timeout: float,
+        check_interval: Optional[float] = None,
+    ) -> bool:
+        """Run until ``predicate()`` becomes true or ``timeout`` seconds elapse.
+
+        The predicate is evaluated after every event (and immediately on
+        entry), so it observes every intermediate state.  Returns True when
+        the predicate fired, False on timeout.
+
+        ``check_interval`` is accepted for API symmetry with wall-clock
+        pollers but is unused: in a discrete-event world state only changes
+        when events fire.
+        """
+        del check_interval
+        if timeout < 0.0:
+            raise SimulationError(f"timeout cannot be negative: {timeout}")
+        deadline = self.now + timeout
+        if predicate():
+            return True
+        while True:
+            next_time = self._events.peek_time()
+            if next_time is None or next_time > deadline:
+                self._clock.advance_to(deadline)
+                return predicate()
+            self.step()
+            if predicate():
+                return True
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator(now={self.now:.6f}, pending={self.pending_events}, "
+            f"processed={self.processed_events})"
+        )

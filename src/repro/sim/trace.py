@@ -1,0 +1,95 @@
+"""Trace capture: the simulator's stand-in for tcpdump.
+
+The controlled-validation experiment (paper §IV-A) compares the reordering
+reported by each measurement technique with ground truth extracted from a
+packet trace captured on the router.  :class:`TraceCapture` is a transparent
+path element that records every packet it forwards along with its arrival
+time, and provides the small amount of analysis the validation needs: the
+actual arrival order of identified packets and whether a given pair was
+exchanged in flight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.net.packet import Packet
+from repro.sim.path import PathElement
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One captured packet: arrival time, the packet, and the capture point label."""
+
+    time: float
+    packet: Packet
+    point: str
+
+    def describe(self) -> str:
+        """Return a tcpdump-style one-line rendering of this record."""
+        return f"{self.time:.9f} [{self.point}] {self.packet.describe()}"
+
+
+class TraceCapture(PathElement):
+    """Records every packet passing through it, then forwards it unchanged."""
+
+    def __init__(self, point: str = "capture") -> None:
+        super().__init__()
+        self.point = point
+        self._records: list[TraceRecord] = []
+
+    def handle_packet(self, packet: Packet) -> None:
+        self._records.append(TraceRecord(time=self.sim.now, packet=packet, point=self.point))
+        self._emit(packet)
+
+    @property
+    def records(self) -> tuple[TraceRecord, ...]:
+        """All captured records in arrival order."""
+        return tuple(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def clear(self) -> None:
+        """Discard all captured records (e.g. between validation runs)."""
+        self._records.clear()
+
+    def arrival_time(self, uid: int) -> Optional[float]:
+        """Return the first arrival time of the packet with the given ``uid``."""
+        for record in self._records:
+            if record.packet.uid == uid:
+                return record.time
+        return None
+
+    def arrival_order(self, uids: Iterable[int]) -> list[int]:
+        """Return the subset of ``uids`` that were captured, in arrival order."""
+        wanted = set(uids)
+        ordered: list[int] = []
+        seen: set[int] = set()
+        for record in self._records:
+            uid = record.packet.uid
+            if uid in wanted and uid not in seen:
+                ordered.append(uid)
+                seen.add(uid)
+        return ordered
+
+    def was_exchanged(self, first_uid: int, second_uid: int) -> Optional[bool]:
+        """Return True when the later-sent packet arrived before the earlier-sent one.
+
+        ``first_uid`` identifies the packet sent first.  Returns None when
+        either packet never arrived (lost), so callers can distinguish
+        "in order", "exchanged", and "undetermined".
+        """
+        order = self.arrival_order([first_uid, second_uid])
+        if len(order) != 2:
+            return None
+        return order[0] == second_uid
+
+    def count_exchanged_pairs(self, pairs: Sequence[tuple[int, int]]) -> int:
+        """Count how many (first_uid, second_uid) pairs arrived exchanged."""
+        return sum(1 for first, second in pairs if self.was_exchanged(first, second) is True)
+
+    def describe(self) -> str:
+        """Return the whole trace as a multi-line string (for debugging)."""
+        return "\n".join(record.describe() for record in self._records)

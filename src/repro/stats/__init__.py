@@ -1,0 +1,39 @@
+"""Statistics substrate: descriptive statistics, empirical CDFs, binomial
+confidence intervals, and the pair-difference test used to compare
+measurement techniques against each other (paper §IV-B).
+"""
+
+from repro.stats.cdf import EmpiricalCdf
+from repro.stats.descriptive import (
+    mean,
+    median,
+    quantile,
+    stddev,
+    summarize,
+    variance,
+)
+from repro.stats.intervals import (
+    BinomialEstimate,
+    binomial_estimate,
+    normal_interval,
+    wilson_interval,
+)
+from repro.stats.pair_difference import PairDifferenceResult, paired_difference_test
+from repro.stats.student_t import t_quantile
+
+__all__ = [
+    "BinomialEstimate",
+    "EmpiricalCdf",
+    "PairDifferenceResult",
+    "binomial_estimate",
+    "mean",
+    "median",
+    "normal_interval",
+    "paired_difference_test",
+    "quantile",
+    "stddev",
+    "summarize",
+    "t_quantile",
+    "variance",
+    "wilson_interval",
+]

@@ -1,0 +1,96 @@
+"""Descriptive statistics used throughout the analysis layer.
+
+Implemented directly (rather than via numpy) so the core library has no
+runtime dependencies; the benchmark harness is free to use numpy for speed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.net.errors import AnalysisError
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean.  Raises on an empty sequence."""
+    if not values:
+        raise AnalysisError("mean of an empty sequence is undefined")
+    return sum(values) / len(values)
+
+
+def variance(values: Sequence[float], ddof: int = 1) -> float:
+    """Variance with ``ddof`` delta degrees of freedom (sample variance by default)."""
+    n = len(values)
+    if n <= ddof:
+        raise AnalysisError(f"variance requires more than {ddof} values, got {n}")
+    center = mean(values)
+    return sum((v - center) ** 2 for v in values) / (n - ddof)
+
+
+def stddev(values: Sequence[float], ddof: int = 1) -> float:
+    """Sample standard deviation."""
+    return math.sqrt(variance(values, ddof=ddof))
+
+
+def median(values: Sequence[float]) -> float:
+    """Median (average of the two central values for even-length input)."""
+    return quantile(values, 0.5)
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile, ``q`` in [0, 1]."""
+    if not values:
+        raise AnalysisError("quantile of an empty sequence is undefined")
+    if not 0.0 <= q <= 1.0:
+        raise AnalysisError(f"quantile level out of range: {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    lower = int(math.floor(position))
+    upper = int(math.ceil(position))
+    if lower == upper:
+        return ordered[lower]
+    fraction = position - lower
+    return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+
+
+@dataclass(frozen=True, slots=True)
+class Summary:
+    """A compact numeric summary of a sample."""
+
+    count: int
+    mean: float
+    stddev: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    maximum: float
+
+    def describe(self) -> str:
+        """Render the summary on one line."""
+        return (
+            f"n={self.count} mean={self.mean:.6g} sd={self.stddev:.6g} "
+            f"min={self.minimum:.6g} p25={self.p25:.6g} med={self.median:.6g} "
+            f"p75={self.p75:.6g} max={self.maximum:.6g}"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Return a :class:`Summary` of ``values``."""
+    if not values:
+        raise AnalysisError("cannot summarize an empty sequence")
+    spread = stddev(values) if len(values) > 1 else 0.0
+    return Summary(
+        count=len(values),
+        mean=mean(values),
+        stddev=spread,
+        minimum=min(values),
+        p25=quantile(values, 0.25),
+        median=quantile(values, 0.5),
+        p75=quantile(values, 0.75),
+        maximum=max(values),
+    )

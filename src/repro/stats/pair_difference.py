@@ -1,0 +1,95 @@
+"""The pair-difference test statistic (Jain, "The Art of Computer Systems
+Performance Analysis") used by the paper to compare measurement techniques.
+
+Two techniques measuring the same path at (approximately) the same times are
+treated as paired observations.  The null hypothesis is that the difference
+between them "can be explained purely in terms of intra-test variability":
+if the confidence interval of the mean paired difference contains zero, the
+techniques agree at that confidence level.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.net.errors import AnalysisError
+from repro.stats.descriptive import mean, stddev
+from repro.stats.student_t import t_quantile
+
+
+@dataclass(frozen=True, slots=True)
+class PairDifferenceResult:
+    """Result of a paired-difference comparison between two measurement series."""
+
+    pairs: int
+    mean_difference: float
+    stddev_difference: float
+    ci_low: float
+    ci_high: float
+    confidence: float
+
+    @property
+    def supports_null(self) -> bool:
+        """True when the interval contains zero, i.e. the techniques agree."""
+        return self.ci_low <= 0.0 <= self.ci_high
+
+    def describe(self) -> str:
+        """Render the comparison on one line."""
+        verdict = "agree" if self.supports_null else "differ"
+        return (
+            f"n={self.pairs} mean diff={self.mean_difference:+.5f} "
+            f"CI=[{self.ci_low:+.5f}, {self.ci_high:+.5f}] @ {self.confidence:.1%} -> {verdict}"
+        )
+
+
+def paired_difference_test(
+    series_a: Sequence[float],
+    series_b: Sequence[float],
+    confidence: float = 0.999,
+) -> PairDifferenceResult:
+    """Run the pair-difference test on two equal-length measurement series.
+
+    Parameters
+    ----------
+    series_a, series_b:
+        Paired observations (e.g. the reordering rate measured by two
+        techniques in the same campaign round).
+    confidence:
+        Two-sided confidence level; the paper uses 99.9 %.
+    """
+    if len(series_a) != len(series_b):
+        raise AnalysisError(
+            f"paired series must have equal length: {len(series_a)} != {len(series_b)}"
+        )
+    if len(series_a) < 2:
+        raise AnalysisError("paired difference test requires at least two pairs")
+    if not 0.0 < confidence < 1.0:
+        raise AnalysisError(f"confidence must be in (0, 1): {confidence}")
+
+    differences = [a - b for a, b in zip(series_a, series_b)]
+    center = mean(differences)
+    spread = stddev(differences)
+    n = len(differences)
+    if spread == 0.0:
+        # All differences identical; the interval collapses to a point.
+        return PairDifferenceResult(
+            pairs=n,
+            mean_difference=center,
+            stddev_difference=0.0,
+            ci_low=center,
+            ci_high=center,
+            confidence=confidence,
+        )
+    upper_tail = 1.0 - (1.0 - confidence) / 2.0
+    t_value = t_quantile(upper_tail, dof=n - 1)
+    margin = t_value * spread / math.sqrt(n)
+    return PairDifferenceResult(
+        pairs=n,
+        mean_difference=center,
+        stddev_difference=spread,
+        ci_low=center - margin,
+        ci_high=center + margin,
+        confidence=confidence,
+    )

@@ -1,0 +1,226 @@
+"""Declarative construction of simulated testbeds.
+
+A testbed is one probe host plus any number of remote sites, each reachable
+over its own duplex path assembled from the reordering / loss / striping
+elements in :mod:`repro.sim`.  Trace captures are installed at the server
+side of the forward path and at the server egress of the reverse path so
+controlled-validation experiments can extract ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.host.machine import RemoteHost
+from repro.host.os_profiles import FREEBSD_44, OsProfile
+from repro.host.raw_socket import ProbeHost
+from repro.host.server import WebServer, build_server
+from repro.net.errors import TopologyError
+from repro.net.flow import parse_address
+from repro.sim.link import Link
+from repro.sim.middlebox import LoadBalancer
+from repro.sim.path import DuplexPath, PathElement, Pipeline
+from repro.sim.random import SeededRandom
+from repro.sim.reorder import AdjacentSwapReorderer, DelayJitterReorderer, LossElement
+from repro.sim.simulator import Simulator
+from repro.sim.striping import StripedPathModel
+from repro.sim.topology import Topology
+from repro.sim.trace import TraceCapture
+
+PROBE_ADDRESS = parse_address("10.0.0.1")
+
+
+@dataclass(frozen=True, slots=True)
+class StripingSpec:
+    """Parameters of a per-packet striping stage on a path."""
+
+    num_links: int = 2
+    link_rate_bps: float = 1e9
+    queue_imbalance_scale: float = 30e-6
+    switch_probability: float = 0.5
+    imbalance_probability: float = 0.6
+
+
+@dataclass(frozen=True, slots=True)
+class PathSpec:
+    """The one-way behaviours of a probe-to-host path, per direction."""
+
+    forward_swap_probability: float = 0.0
+    reverse_swap_probability: float = 0.0
+    forward_loss: float = 0.0
+    reverse_loss: float = 0.0
+    propagation_delay: float = 0.005
+    access_bandwidth_bps: Optional[float] = 100e6
+    forward_striping: Optional[StripingSpec] = None
+    reverse_striping: Optional[StripingSpec] = None
+    forward_jitter_mean: float = 0.0
+    reverse_jitter_mean: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class HostSpec:
+    """A remote site: its stack behaviour, applications, middleboxes, and path."""
+
+    name: str
+    address: int
+    profile: OsProfile = FREEBSD_44
+    path: PathSpec = field(default_factory=PathSpec)
+    web_object_size: Optional[int] = 16 * 1024
+    icmp_enabled: bool = True
+    load_balancer_backends: int = 0
+    """0 means no load balancer; N >= 2 places the site behind N backends."""
+
+
+@dataclass(slots=True)
+class SiteHandle:
+    """Everything the experiment harness may need about one deployed site."""
+
+    spec: HostSpec
+    hosts: list[RemoteHost]
+    load_balancer: Optional[LoadBalancer]
+    forward_trace: TraceCapture
+    reverse_trace: TraceCapture
+
+    @property
+    def primary_host(self) -> RemoteHost:
+        """The single backend (or the first backend of a balanced cluster)."""
+        return self.hosts[0]
+
+
+class Testbed:
+    """A fully wired simulation environment ready for measurements."""
+
+    def __init__(self, seed: int = 1) -> None:
+        self.sim = Simulator()
+        self.rng = SeededRandom(seed)
+        self.topology = Topology(self.sim)
+        self.probe = ProbeHost(self.sim, PROBE_ADDRESS)
+        self.topology.attach_probe(self.probe)
+        self.probe.set_transmit(self.topology.send_from_probe)
+        self.sites: dict[str, SiteHandle] = {}
+
+    def site(self, name: str) -> SiteHandle:
+        """Look up a deployed site by name."""
+        try:
+            return self.sites[name]
+        except KeyError:
+            raise TopologyError(f"no site named {name!r} in this testbed") from None
+
+    def address_of(self, name: str) -> int:
+        """Return the address of a deployed site."""
+        return self.site(name).spec.address
+
+    def addresses(self) -> list[int]:
+        """Return the addresses of every deployed site, in insertion order."""
+        return [handle.spec.address for handle in self.sites.values()]
+
+    def add_site(self, spec: HostSpec) -> SiteHandle:
+        """Deploy a site from its spec: build hosts, middleboxes, and the path."""
+        if spec.name in self.sites:
+            raise TopologyError(f"duplicate site name: {spec.name}")
+        site_rng = self.rng.fork(f"site:{spec.name}")
+
+        forward_elements, reverse_elements, forward_trace, reverse_trace = self._build_path(
+            spec, site_rng
+        )
+        path = DuplexPath(Pipeline(forward_elements), Pipeline(reverse_elements))
+
+        backend_count = max(1, spec.load_balancer_backends)
+        hosts = [
+            self._build_host(spec, site_rng.fork(f"backend:{index}"))
+            for index in range(backend_count)
+        ]
+        load_balancer: Optional[LoadBalancer] = None
+        if spec.load_balancer_backends >= 2:
+            load_balancer = LoadBalancer(hosts, hash_salt=site_rng.randint(0, 1 << 30))
+            entry_point = load_balancer
+        else:
+            entry_point = hosts[0]
+
+        self.topology.add_site(spec.address, entry_point, path)
+        transmit = self.topology.transmit_for_site(spec.address)
+        for host in hosts:
+            host.set_transmit(transmit)
+
+        handle = SiteHandle(
+            spec=spec,
+            hosts=hosts,
+            load_balancer=load_balancer,
+            forward_trace=forward_trace,
+            reverse_trace=reverse_trace,
+        )
+        self.sites[spec.name] = handle
+        return handle
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _build_host(self, spec: HostSpec, rng: SeededRandom) -> RemoteHost:
+        web_server: Optional[WebServer] = None
+        if spec.web_object_size is not None:
+            web_server = build_server(spec.web_object_size)
+        return RemoteHost(
+            sim=self.sim,
+            address=spec.address,
+            profile=spec.profile,
+            rng=rng,
+            web_server=web_server,
+            icmp_enabled=spec.icmp_enabled,
+        )
+
+    def _build_path(
+        self,
+        spec: HostSpec,
+        rng: SeededRandom,
+    ) -> tuple[list[PathElement], list[PathElement], TraceCapture, TraceCapture]:
+        path = spec.path
+        forward_trace = TraceCapture(point=f"{spec.name}:forward-arrival")
+        reverse_trace = TraceCapture(point=f"{spec.name}:reverse-egress")
+
+        forward: list[PathElement] = [
+            Link(bandwidth_bps=path.access_bandwidth_bps, propagation_delay=path.propagation_delay)
+        ]
+        if path.forward_loss > 0.0:
+            forward.append(LossElement(path.forward_loss, rng.fork("fwd-loss")))
+        if path.forward_jitter_mean > 0.0:
+            forward.append(DelayJitterReorderer(0.0, path.forward_jitter_mean, rng.fork("fwd-jitter")))
+        if path.forward_striping is not None:
+            forward.append(self._build_striping(path.forward_striping, rng.fork("fwd-stripe")))
+        if path.forward_swap_probability > 0.0:
+            forward.append(AdjacentSwapReorderer(path.forward_swap_probability, rng.fork("fwd-swap")))
+        forward.append(forward_trace)
+
+        reverse: list[PathElement] = [reverse_trace]
+        if path.reverse_swap_probability > 0.0:
+            reverse.append(AdjacentSwapReorderer(path.reverse_swap_probability, rng.fork("rev-swap")))
+        if path.reverse_striping is not None:
+            reverse.append(self._build_striping(path.reverse_striping, rng.fork("rev-stripe")))
+        if path.reverse_jitter_mean > 0.0:
+            reverse.append(DelayJitterReorderer(0.0, path.reverse_jitter_mean, rng.fork("rev-jitter")))
+        if path.reverse_loss > 0.0:
+            reverse.append(LossElement(path.reverse_loss, rng.fork("rev-loss")))
+        reverse.append(
+            Link(bandwidth_bps=path.access_bandwidth_bps, propagation_delay=path.propagation_delay)
+        )
+        return forward, reverse, forward_trace, reverse_trace
+
+    @staticmethod
+    def _build_striping(spec: StripingSpec, rng: SeededRandom) -> StripedPathModel:
+        return StripedPathModel(
+            rng=rng,
+            num_links=spec.num_links,
+            link_rate_bps=spec.link_rate_bps,
+            queue_imbalance_scale=spec.queue_imbalance_scale,
+            switch_probability=spec.switch_probability,
+            imbalance_probability=spec.imbalance_probability,
+        )
+
+
+def build_testbed(specs: list[HostSpec], seed: int = 1) -> Testbed:
+    """Build a testbed containing every site in ``specs``."""
+    testbed = Testbed(seed=seed)
+    for spec in specs:
+        testbed.add_site(spec)
+    return testbed

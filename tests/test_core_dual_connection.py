@@ -1,0 +1,121 @@
+"""Tests for the Dual Connection Test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dual_connection import DualConnectionTest
+from repro.core.sample import Direction, SampleOutcome
+from repro.host.os_profiles import LINUX_24, OPENBSD_30, SOLARIS_8
+from repro.net.errors import HostNotEligibleError
+from repro.net.flow import parse_address
+from repro.workloads.testbed import HostSpec, PathSpec, Testbed
+
+
+def _testbed(profile=None, backends: int = 0, forward: float = 0.0, reverse: float = 0.0, seed: int = 42):
+    testbed = Testbed(seed=seed)
+    address = parse_address("10.2.0.2")
+    spec = HostSpec(
+        name="target",
+        address=address,
+        path=PathSpec(
+            forward_swap_probability=forward,
+            reverse_swap_probability=reverse,
+            propagation_delay=0.002,
+        ),
+        load_balancer_backends=backends,
+    )
+    if profile is not None:
+        spec = HostSpec(
+            name="target",
+            address=address,
+            profile=profile,
+            path=spec.path,
+            load_balancer_backends=backends,
+        )
+    testbed.add_site(spec)
+    return testbed, address
+
+
+def test_clean_path_reports_no_reordering():
+    testbed, address = _testbed()
+    result = DualConnectionTest(testbed.probe, address).run(num_samples=20)
+    assert result.reordering_rate(Direction.FORWARD) == 0.0
+    assert result.reordering_rate(Direction.REVERSE) == 0.0
+
+
+def test_detects_forward_and_reverse_reordering_matching_ground_truth():
+    testbed, address = _testbed(forward=0.25, reverse=0.2)
+    test = DualConnectionTest(testbed.probe, address)
+    result = test.run(num_samples=80)
+    assert result.reordering_rate(Direction.FORWARD) > 0.05
+    assert result.reordering_rate(Direction.REVERSE) > 0.02
+
+    handle = testbed.site("target")
+    for sample in result.samples:
+        if sample.forward.is_valid() and len(sample.probe_uids) == 2:
+            truth = handle.forward_trace.was_exchanged(*sample.probe_uids)
+            if truth is not None:
+                assert (sample.forward is SampleOutcome.REORDERED) == truth
+        if sample.reverse.is_valid() and len(sample.response_uids) == 2:
+            egress = handle.reverse_trace.arrival_order(sample.response_uids)
+            if len(egress) == 2:
+                assert (sample.reverse is SampleOutcome.REORDERED) == (egress[0] != sample.response_uids[0])
+
+
+def test_ipid_validation_passes_for_solaris_per_destination_counter():
+    # Solaris keeps a per-destination counter, which is indistinguishable from
+    # a shared counter from a single probe host's point of view (paper footnote).
+    testbed, address = _testbed(profile=SOLARIS_8)
+    result = DualConnectionTest(testbed.probe, address).run(num_samples=10)
+    assert result.sample_count() == 10
+
+
+def test_random_ipid_host_rejected():
+    testbed, address = _testbed(profile=OPENBSD_30)
+    with pytest.raises(HostNotEligibleError):
+        DualConnectionTest(testbed.probe, address).run(num_samples=10)
+
+
+def test_zero_ipid_host_rejected():
+    testbed, address = _testbed(profile=LINUX_24)
+    with pytest.raises(HostNotEligibleError):
+        DualConnectionTest(testbed.probe, address).run(num_samples=10)
+
+
+def test_validation_can_be_disabled_for_research_use():
+    testbed, address = _testbed(profile=OPENBSD_30)
+    test = DualConnectionTest(testbed.probe, address, validate_ipid=False)
+    result = test.run(num_samples=10)
+    # Samples are produced but their classifications are meaningless; the
+    # point of this mode is studying exactly that failure (ablation D2).
+    assert result.sample_count() == 10
+
+
+def test_load_balanced_site_often_rejected():
+    # Each attempt opens a fresh pair of connections; whenever the flow hash
+    # splits them across backends the IPID spaces are unrelated and the host
+    # must be rejected.  With four backends most attempts split.
+    testbed, address = _testbed(backends=4, seed=104)
+    rejections = 0
+    for _attempt in range(6):
+        try:
+            DualConnectionTest(testbed.probe, address).run(num_samples=3)
+        except HostNotEligibleError:
+            rejections += 1
+    assert rejections >= 2
+
+
+def test_unreachable_host_reports_handshake_failure():
+    testbed, _address = _testbed()
+    result = DualConnectionTest(testbed.probe, parse_address("203.0.113.99")).run(num_samples=5)
+    assert result.sample_count() == 0
+    assert result.notes == "handshake failed"
+
+
+def test_validation_report_is_exposed():
+    testbed, address = _testbed()
+    test = DualConnectionTest(testbed.probe, address)
+    test.run(num_samples=5)
+    assert test.last_validation is not None
+    assert test.last_validation.eligible

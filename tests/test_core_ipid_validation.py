@@ -1,0 +1,106 @@
+"""Tests for IPID eligibility validation."""
+
+from __future__ import annotations
+
+from repro.core.ipid_validation import IpidClass, classify_ipid_sequence, validate_host_ipid
+from repro.host.os_profiles import FREEBSD_44, LINUX_24, OPENBSD_30
+from repro.net.flow import parse_address
+from repro.workloads.testbed import HostSpec, PathSpec, Testbed
+
+
+def test_shared_monotonic_sequence_is_eligible():
+    observations = [(i % 2, 100 + i) for i in range(12)]
+    report = classify_ipid_sequence(observations)
+    assert report.ipid_class is IpidClass.SHARED_MONOTONIC
+    assert report.eligible
+    assert report.within_connection_violations == 0
+    assert "shared-monotonic" in report.describe()
+
+
+def test_shared_counter_with_gaps_is_still_eligible():
+    observations = [(i % 2, 100 + 5 * i) for i in range(12)]
+    report = classify_ipid_sequence(observations)
+    assert report.eligible
+
+
+def test_wraparound_is_tolerated():
+    observations = [(i % 2, (65530 + i) % 65536) for i in range(12)]
+    report = classify_ipid_sequence(observations)
+    assert report.eligible
+
+
+def test_constant_zero_is_ineligible():
+    observations = [(i % 2, 0) for i in range(12)]
+    report = classify_ipid_sequence(observations)
+    assert report.ipid_class is IpidClass.CONSTANT
+    assert not report.eligible
+
+
+def test_random_ipids_are_ineligible():
+    values = [37211, 1289, 60412, 222, 41983, 5121, 33333, 17, 59999, 1024, 47771, 9000]
+    observations = [(i % 2, values[i]) for i in range(12)]
+    report = classify_ipid_sequence(observations)
+    assert report.ipid_class is IpidClass.RANDOM_OR_UNSHARED
+    assert not report.eligible
+
+
+def test_load_balanced_counters_are_ineligible():
+    # Two backends, each with its own monotonic counter in a very different range.
+    observations = []
+    counter_a, counter_b = 100, 40000
+    for i in range(12):
+        if i % 2 == 0:
+            observations.append((0, counter_a))
+            counter_a += 1
+        else:
+            observations.append((1, counter_b))
+            counter_b += 1
+    report = classify_ipid_sequence(observations)
+    assert report.ipid_class is IpidClass.RANDOM_OR_UNSHARED
+    assert not report.eligible
+    assert report.within_connection_violations == 0
+    assert report.cross_connection_violations > 0
+
+
+def test_insufficient_observations():
+    report = classify_ipid_sequence([(0, 1), (1, 2)])
+    assert report.ipid_class is IpidClass.INSUFFICIENT
+    assert not report.eligible
+
+
+def _testbed_with_profile(profile, backends: int = 0) -> tuple[Testbed, int]:
+    testbed = Testbed(seed=77)
+    address = parse_address("10.3.0.2")
+    testbed.add_site(
+        HostSpec(
+            name="target",
+            address=address,
+            profile=profile,
+            path=PathSpec(propagation_delay=0.001),
+            load_balancer_backends=backends,
+        )
+    )
+    return testbed, address
+
+
+def test_validate_host_ipid_end_to_end_random(clean_testbed):
+    # A well-behaved host validates as eligible.
+    report = validate_host_ipid(clean_testbed.probe, clean_testbed.address_of("target"))
+    assert report.eligible
+
+    testbed, address = _testbed_with_profile(OPENBSD_30)
+    report = validate_host_ipid(testbed.probe, address)
+    assert report.ipid_class is IpidClass.RANDOM_OR_UNSHARED
+
+    testbed, address = _testbed_with_profile(LINUX_24)
+    report = validate_host_ipid(testbed.probe, address)
+    assert report.ipid_class is IpidClass.CONSTANT
+
+
+def test_validate_host_ipid_detects_load_balancer():
+    # With two backends, connections opened on distinct ports frequently land
+    # on different machines; try a few pairs and require that at least one is
+    # detected as unshared (a single pair can legitimately share a backend).
+    testbed, address = _testbed_with_profile(FREEBSD_44, backends=2)
+    verdicts = [validate_host_ipid(testbed.probe, address).eligible for _ in range(6)]
+    assert not all(verdicts)

@@ -1,0 +1,154 @@
+"""Tests for the web server, ICMP responder, remote host, and probe host."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.host.icmp_responder import IcmpResponder
+from repro.host.ipid import GlobalCounterIpid, IpStack
+from repro.host.machine import RemoteHost
+from repro.host.os_profiles import FREEBSD_44
+from repro.host.raw_socket import ProbeHost
+from repro.host.server import RedirectingServer, WebServer, build_server
+from repro.net.errors import SimulationError
+from repro.net.flow import parse_address
+from repro.net.packet import ICMP_ECHO_REPLY, ICMP_ECHO_REQUEST, IcmpEcho, Packet, TcpFlags, TcpHeader
+from repro.sim.random import SeededRandom
+from repro.sim.simulator import Simulator
+
+CLIENT = parse_address("10.0.0.1")
+SERVER = parse_address("10.0.0.2")
+
+
+def test_web_server_requires_complete_request():
+    class FakeEndpoint:
+        def __init__(self) -> None:
+            self.sent = []
+
+        def set_on_data(self, callback) -> None:
+            self.callback = callback
+
+        def send_app_data(self, connection, num_bytes) -> None:
+            self.sent.append(num_bytes)
+
+    class FakeConnection:
+        class key:  # noqa: N801 - mimic the FourTuple attribute access
+            src_addr, src_port, dst_addr, dst_port = 1, 2, 3, 4
+
+    endpoint = FakeEndpoint()
+    server = WebServer(object_size=1000)
+    server.install(endpoint)
+    server.on_data(endpoint, FakeConnection(), b"GET")
+    assert not endpoint.sent
+    server.on_data(endpoint, FakeConnection(), b"GET / HTTP/1.0\r\n\r\n")
+    assert endpoint.sent == [1000]
+    # A second request on the same connection is not answered twice.
+    server.on_data(endpoint, FakeConnection(), b"GET / HTTP/1.0\r\n\r\n")
+    assert endpoint.sent == [1000]
+    server.reset()
+    server.on_data(endpoint, FakeConnection(), b"GET / HTTP/1.0\r\n\r\n")
+    assert endpoint.sent == [1000, 1000]
+
+
+def test_build_server_redirect_threshold():
+    assert isinstance(build_server(None), RedirectingServer)
+    assert isinstance(build_server(200), RedirectingServer)
+    assert isinstance(build_server(16 * 1024), WebServer)
+    with pytest.raises(ValueError):
+        WebServer(object_size=-1)
+
+
+def test_icmp_responder_replies_with_matching_fields():
+    stack = IpStack(address=SERVER, ipid_policy=GlobalCounterIpid(start=50))
+    responder = IcmpResponder(stack)
+    sent = []
+    responder.set_transmit(sent.append)
+    echo = IcmpEcho(ICMP_ECHO_REQUEST, identifier=9, sequence=3, payload=b"ping")
+    responder.deliver(Packet.icmp_packet(CLIENT, SERVER, echo))
+    assert len(sent) == 1
+    reply = sent[0]
+    assert reply.icmp is not None
+    assert reply.icmp.icmp_type == ICMP_ECHO_REPLY
+    assert reply.icmp.identifier == 9 and reply.icmp.sequence == 3
+    assert reply.ip.dst == CLIENT
+    assert reply.ip.ident == 50
+
+
+def test_icmp_responder_disabled_or_wrong_target_is_silent():
+    stack = IpStack(address=SERVER, ipid_policy=GlobalCounterIpid())
+    responder = IcmpResponder(stack, enabled=False)
+    sent = []
+    responder.set_transmit(sent.append)
+    echo = IcmpEcho(ICMP_ECHO_REQUEST, identifier=1, sequence=1)
+    responder.deliver(Packet.icmp_packet(CLIENT, SERVER, echo))
+    assert not sent
+    assert responder.requests_seen == 1
+
+    enabled = IcmpResponder(stack, enabled=True)
+    enabled.set_transmit(sent.append)
+    enabled.deliver(Packet.icmp_packet(CLIENT, parse_address("10.0.0.9"), echo))
+    assert not sent
+
+
+def test_remote_host_dispatches_by_protocol():
+    sim = Simulator()
+    host = RemoteHost(sim, SERVER, FREEBSD_44, SeededRandom(1), web_server=WebServer(2048))
+    sent = []
+    host.set_transmit(sent.append)
+    # TCP SYN produces a SYN/ACK; ICMP echo produces a reply; both share IPIDs.
+    syn = Packet.tcp_packet(CLIENT, SERVER, TcpHeader(src_port=4000, dst_port=80, seq=1, flags=TcpFlags.SYN))
+    host.deliver(syn)
+    echo = IcmpEcho(ICMP_ECHO_REQUEST, identifier=2, sequence=1)
+    host.deliver(Packet.icmp_packet(CLIENT, SERVER, echo))
+    assert len(sent) == 2
+    assert sent[0].is_tcp() and sent[1].is_icmp()
+    assert sent[1].ip.ident > sent[0].ip.ident
+    assert host.packets_delivered == 2
+
+
+def test_probe_host_capture_filtering_and_ports():
+    sim = Simulator()
+    probe = ProbeHost(sim, CLIENT)
+    sent = []
+    probe.set_transmit(sent.append)
+    port_a = probe.allocate_port()
+    port_b = probe.allocate_port()
+    assert port_a != port_b
+
+    probe.send(Packet.tcp_packet(CLIENT, SERVER, TcpHeader(src_port=port_a, dst_port=80)))
+    assert probe.packets_sent == 1 and len(sent) == 1
+
+    cursor = probe.capture_cursor()
+    probe.deliver(Packet.tcp_packet(SERVER, CLIENT, TcpHeader(src_port=80, dst_port=port_a, ack=5, flags=TcpFlags.ACK)))
+    probe.deliver(Packet.tcp_packet(SERVER, CLIENT, TcpHeader(src_port=80, dst_port=port_b, ack=7, flags=TcpFlags.ACK)))
+    probe.deliver(Packet.tcp_packet(SERVER, parse_address("10.0.0.3"), TcpHeader(src_port=80, dst_port=port_a)))
+
+    all_for_a = probe.tcp_packets_since(cursor, local_port=port_a)
+    assert len(all_for_a) == 1
+    assert ProbeHost.acks_of(all_for_a) == [5]
+    assert len(probe.captured_since(cursor)) == 2  # packet to another address ignored
+    serials = [c.serial for c in probe.captured_since(cursor)]
+    assert serials == sorted(serials)
+
+
+def test_probe_host_requires_transmit():
+    probe = ProbeHost(Simulator(), CLIENT)
+    with pytest.raises(SimulationError):
+        probe.send(Packet.tcp_packet(CLIENT, SERVER, TcpHeader(src_port=1, dst_port=2)))
+
+
+def test_probe_host_wait_helpers_time_out():
+    sim = Simulator()
+    probe = ProbeHost(sim, CLIENT)
+    cursor = probe.capture_cursor()
+    replies = probe.wait_for_packets(cursor, count=1, timeout=0.2, local_port=1234)
+    assert replies == ()
+    assert sim.now == pytest.approx(0.2)
+    assert not probe.wait_for_predicate(lambda: False, timeout=0.1)
+
+
+def test_probe_host_port_allocation_wraps():
+    probe = ProbeHost(Simulator(), CLIENT, first_port=64998)
+    ports = [probe.allocate_port() for _ in range(5)]
+    assert all(33000 <= port <= 65000 for port in ports)
+    assert len(set(ports)) == len(ports)

@@ -1,0 +1,63 @@
+"""Tests for the OS behaviour profile catalogue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.host.ipid import ConstantZeroIpid, GlobalCounterIpid, PerDestinationIpid, RandomIpid
+from repro.host.os_profiles import (
+    FREEBSD_44,
+    LINUX_24,
+    OPENBSD_30,
+    OS_PROFILES,
+    SOLARIS_8,
+    SecondSynResponse,
+    profile_by_name,
+)
+from repro.sim.random import SeededRandom
+
+
+def test_catalogue_is_keyed_by_name():
+    for name, profile in OS_PROFILES.items():
+        assert profile.name == name
+
+
+def test_profile_by_name_lookup_and_error():
+    assert profile_by_name("freebsd-4.4") is FREEBSD_44
+    with pytest.raises(KeyError):
+        profile_by_name("plan9")
+
+
+def test_ipid_policy_families():
+    rng = SeededRandom(1)
+    assert isinstance(FREEBSD_44.build_ipid_policy(rng), GlobalCounterIpid)
+    assert isinstance(LINUX_24.build_ipid_policy(rng), ConstantZeroIpid)
+    assert isinstance(OPENBSD_30.build_ipid_policy(rng), RandomIpid)
+    assert isinstance(SOLARIS_8.build_ipid_policy(rng), PerDestinationIpid)
+
+
+def test_ipid_policy_start_is_seed_dependent_but_deterministic():
+    policy_a = FREEBSD_44.build_ipid_policy(SeededRandom(5))
+    policy_b = FREEBSD_44.build_ipid_policy(SeededRandom(5))
+    assert policy_a.next_value(1) == policy_b.next_value(1)
+
+
+def test_second_syn_response_values_covered():
+    responses = {profile.second_syn_response for profile in OS_PROFILES.values()}
+    assert SecondSynResponse.ALWAYS_RST in responses
+    assert SecondSynResponse.SPEC_COMPLIANT in responses
+    assert SecondSynResponse.DUAL_RST in responses
+    assert SecondSynResponse.IGNORE in responses
+
+
+def test_delayed_ack_defaults_sane():
+    for profile in OS_PROFILES.values():
+        assert 0.0 < profile.delayed_ack_timeout <= 0.5
+        assert profile.delayed_ack_threshold >= 1
+        assert profile.advertised_window > 0
+
+
+def test_legacy_profile_lacks_hole_fill_ack():
+    legacy = profile_by_name("legacy-delayed-ack")
+    assert not legacy.ack_on_hole_fill
+    assert sum(1 for p in OS_PROFILES.values() if p.ack_on_hole_fill) >= 8

@@ -1,0 +1,55 @@
+"""Tests for the Internet checksum implementation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.checksum import internet_checksum, pseudo_header_sum, verify_checksum
+
+
+def test_known_rfc1071_example():
+    # The classic example from RFC 1071 section 3.
+    data = bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7])
+    checksum = internet_checksum(data)
+    assert checksum == 0xFFFF - ((0x0001 + 0xF203 + 0xF4F5 + 0xF6F7) % 0xFFFF)
+
+
+def test_checksum_of_zeros_is_all_ones():
+    assert internet_checksum(b"\x00" * 10) == 0xFFFF
+
+
+def test_checksum_odd_length_pads_with_zero():
+    even = internet_checksum(bytes([0x12, 0x34, 0x56, 0x00]))
+    odd = internet_checksum(bytes([0x12, 0x34, 0x56]))
+    assert even == odd
+
+
+def test_verify_checksum_round_trip():
+    data = bytes(range(20))
+    checksum = internet_checksum(data)
+    buffer = data + checksum.to_bytes(2, "big")
+    assert verify_checksum(buffer)
+
+
+def test_verify_detects_corruption():
+    data = bytes(range(20))
+    checksum = internet_checksum(data)
+    buffer = bytearray(data + checksum.to_bytes(2, "big"))
+    buffer[3] ^= 0xFF
+    assert not verify_checksum(bytes(buffer))
+
+
+def test_initial_partial_sum_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        internet_checksum(b"\x00", initial=0x10000)
+
+
+def test_pseudo_header_sum_folds_to_16_bits():
+    total = pseudo_header_sum(0xFFFFFFFF, 0xFFFFFFFF, 6, 0xFFFF)
+    assert 0 <= total <= 0xFFFF
+
+
+def test_checksum_range():
+    for length in range(0, 64):
+        value = internet_checksum(bytes(range(length % 256)) * 1)
+        assert 0 <= value <= 0xFFFF

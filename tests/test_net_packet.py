@@ -1,0 +1,106 @@
+"""Tests for the in-memory packet models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.flow import parse_address
+from repro.net.packet import (
+    ICMP_ECHO_REQUEST,
+    PROTO_TCP,
+    IcmpEcho,
+    IPv4Header,
+    Packet,
+    TcpFlags,
+    TcpHeader,
+    TcpOption,
+)
+
+SRC = parse_address("10.0.0.1")
+DST = parse_address("10.0.0.2")
+
+
+def _tcp_header(**overrides):
+    defaults = dict(src_port=1234, dst_port=80, seq=100, ack=200, flags=TcpFlags.ACK)
+    defaults.update(overrides)
+    return TcpHeader(**defaults)
+
+
+def test_flags_describe():
+    assert TcpFlags.SYN.describe() == "SYN"
+    assert (TcpFlags.SYN | TcpFlags.ACK).describe() == "SYN|ACK"
+    assert TcpFlags.NONE.describe() == "-"
+
+
+def test_mss_option_round_trip():
+    option = TcpOption.mss(1460)
+    assert option.mss_value() == 1460
+    assert option.encoded_length() == 4
+
+
+def test_mss_option_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        TcpOption.mss(70000)
+
+
+def test_header_lengths_account_for_options():
+    plain = _tcp_header()
+    with_mss = _tcp_header(options=(TcpOption.mss(1460),))
+    assert plain.header_length() == 20
+    assert with_mss.header_length() == 24
+
+
+def test_tcp_header_validation():
+    with pytest.raises(ValueError):
+        _tcp_header(seq=1 << 32)
+    with pytest.raises(ValueError):
+        _tcp_header(src_port=-1)
+    with pytest.raises(ValueError):
+        _tcp_header(window=1 << 17)
+
+
+def test_ip_header_validation():
+    with pytest.raises(ValueError):
+        IPv4Header(src=SRC, dst=DST, protocol=PROTO_TCP, ident=1 << 16)
+    with pytest.raises(ValueError):
+        IPv4Header(src=SRC, dst=DST, protocol=PROTO_TCP, ttl=300)
+
+
+def test_packet_uid_unique_and_preserved_by_with_ip():
+    a = Packet.tcp_packet(SRC, DST, _tcp_header())
+    b = Packet.tcp_packet(SRC, DST, _tcp_header())
+    assert a.uid != b.uid
+    rewritten = a.with_ip(ttl=10)
+    assert rewritten.uid == a.uid
+    assert rewritten.ip.ttl == 10
+
+
+def test_packet_clone_gets_new_uid():
+    a = Packet.tcp_packet(SRC, DST, _tcp_header())
+    assert a.clone().uid != a.uid
+
+
+def test_packet_total_length():
+    packet = Packet.tcp_packet(SRC, DST, _tcp_header(), payload=b"abc")
+    assert packet.total_length() == 20 + 20 + 3
+
+
+def test_four_tuple_requires_tcp():
+    echo = IcmpEcho(ICMP_ECHO_REQUEST, identifier=1, sequence=2)
+    packet = Packet.icmp_packet(SRC, DST, echo)
+    with pytest.raises(ValueError):
+        packet.four_tuple()
+    assert packet.is_icmp() and not packet.is_tcp()
+
+
+def test_packet_cannot_mix_transports():
+    echo = IcmpEcho(ICMP_ECHO_REQUEST, identifier=1, sequence=2)
+    ip = IPv4Header(src=SRC, dst=DST, protocol=PROTO_TCP)
+    with pytest.raises(ValueError):
+        Packet(ip=ip, tcp=_tcp_header(), icmp=echo)
+
+
+def test_describe_mentions_key_fields():
+    packet = Packet.tcp_packet(SRC, DST, _tcp_header(flags=TcpFlags.SYN), ident=42)
+    text = packet.describe()
+    assert "SYN" in text and "ipid=42" in text and "10.0.0.2" in text

@@ -1,0 +1,76 @@
+"""Tests for modular sequence-number arithmetic."""
+
+from __future__ import annotations
+
+from repro.net.seqnum import (
+    IPID_MODULO,
+    SEQ_MODULO,
+    ipid_diff,
+    ipid_lt,
+    seq_add,
+    seq_between,
+    seq_diff,
+    seq_ge,
+    seq_gt,
+    seq_le,
+    seq_lt,
+)
+
+
+def test_seq_add_wraps():
+    assert seq_add(SEQ_MODULO - 1, 1) == 0
+    assert seq_add(SEQ_MODULO - 1, 5) == 4
+
+
+def test_seq_diff_simple():
+    assert seq_diff(5, 2) == 3
+    assert seq_diff(2, 5) == -3
+
+
+def test_seq_diff_across_wrap():
+    near_top = SEQ_MODULO - 2
+    assert seq_diff(1, near_top) == 3
+    assert seq_diff(near_top, 1) == -3
+
+
+def test_ordering_predicates():
+    assert seq_lt(2, 5)
+    assert seq_le(5, 5)
+    assert seq_gt(5, 2)
+    assert seq_ge(5, 5)
+    assert not seq_lt(5, 2)
+
+
+def test_ordering_across_wrap():
+    near_top = SEQ_MODULO - 10
+    assert seq_gt(5, near_top)
+    assert seq_lt(near_top, 5)
+
+
+def test_seq_between_simple_window():
+    assert seq_between(10, 15, 20)
+    assert not seq_between(10, 25, 20)
+    assert seq_between(10, 10, 20)
+    assert not seq_between(10, 20, 20)
+
+
+def test_seq_between_wrapping_window():
+    low = SEQ_MODULO - 5
+    high = 5
+    assert seq_between(low, SEQ_MODULO - 1, high)
+    assert seq_between(low, 2, high)
+    assert not seq_between(low, 100, high)
+
+
+def test_seq_between_empty_window():
+    assert not seq_between(7, 7, 7)
+
+
+def test_ipid_diff_uses_16_bit_space():
+    assert ipid_diff(1, IPID_MODULO - 1) == 2
+    assert ipid_diff(IPID_MODULO - 1, 1) == -2
+
+
+def test_ipid_lt_wraparound():
+    assert ipid_lt(IPID_MODULO - 3, 2)
+    assert not ipid_lt(2, IPID_MODULO - 3)

@@ -1,0 +1,134 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import count_exchanges, n_reordering, reordering_extent, sequence_reordering_probability
+from repro.net.checksum import internet_checksum, verify_checksum
+from repro.net.flow import FourTuple, format_address, parse_address
+from repro.net.packet import Packet, TcpFlags, TcpHeader
+from repro.net.seqnum import SEQ_MODULO, seq_add, seq_diff, seq_ge, seq_lt
+from repro.net.wire import parse_packet, serialize_packet
+from repro.stats.cdf import EmpiricalCdf
+from repro.stats.intervals import wilson_interval
+from repro.stats.student_t import t_cdf, t_quantile
+
+addresses = st.integers(min_value=0, max_value=0xFFFFFFFF)
+ports = st.integers(min_value=0, max_value=0xFFFF)
+seqs = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+@given(st.binary(max_size=256))
+def test_checksum_self_verifies(data):
+    checksum = internet_checksum(data)
+    assert 0 <= checksum <= 0xFFFF
+    # Real protocols place the checksum at an even offset; odd-length data is
+    # implicitly zero-padded for the computation, so pad before appending.
+    if len(data) % 2:
+        data += b"\x00"
+    assert verify_checksum(data + checksum.to_bytes(2, "big"))
+
+
+@given(addresses)
+def test_address_round_trip(addr):
+    assert parse_address(format_address(addr)) == addr
+
+
+@given(addresses, ports, addresses, ports)
+def test_flow_key_symmetry(src, sport, dst, dport):
+    tuple_ = FourTuple(src, sport, dst, dport)
+    assert tuple_.flow_key() == tuple_.reversed().flow_key()
+
+
+@given(seqs, st.integers(min_value=0, max_value=2**20))
+def test_seq_add_diff_inverse(base, delta):
+    other = seq_add(base, delta)
+    assert seq_diff(other, base) == delta or delta > SEQ_MODULO // 2
+    assert seq_ge(other, base) or delta > SEQ_MODULO // 2
+
+
+@given(seqs, seqs)
+def test_seq_ordering_is_antisymmetric(a, b):
+    if a != b and abs(seq_diff(a, b)) != SEQ_MODULO // 2:
+        assert seq_lt(a, b) != seq_lt(b, a)
+
+
+@given(
+    addresses,
+    addresses,
+    ports,
+    ports,
+    seqs,
+    seqs,
+    st.integers(min_value=0, max_value=0xFFFF),
+    st.binary(max_size=64),
+)
+@settings(max_examples=60)
+def test_wire_round_trip_preserves_tcp_fields(src, dst, sport, dport, seq, ack, ident, payload):
+    header = TcpHeader(src_port=sport, dst_port=dport, seq=seq, ack=ack, flags=TcpFlags.ACK | TcpFlags.PSH)
+    packet = Packet.tcp_packet(src, dst, header, payload=payload, ident=ident)
+    parsed = parse_packet(serialize_packet(packet))
+    assert parsed.tcp is not None
+    assert (parsed.ip.src, parsed.ip.dst, parsed.ip.ident) == (src, dst, ident)
+    assert (parsed.tcp.src_port, parsed.tcp.dst_port) == (sport, dport)
+    assert (parsed.tcp.seq, parsed.tcp.ack) == (seq, ack)
+    assert parsed.payload == payload
+
+
+@given(st.lists(st.integers(), min_size=1, max_size=40, unique=True), st.randoms(use_true_random=False))
+def test_count_exchanges_bounds_and_identity(send_order, rng):
+    arrival = list(send_order)
+    assert count_exchanges(send_order, arrival) == 0
+    rng.shuffle(arrival)
+    n = len(arrival)
+    exchanges = count_exchanges(send_order, arrival)
+    assert 0 <= exchanges <= n * (n - 1) // 2
+    # Exchanges of the reversed arrival complement the original count.
+    reversed_arrival = list(reversed(arrival))
+    assert count_exchanges(send_order, reversed_arrival) == n * (n - 1) // 2 - exchanges
+
+
+@given(st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=50, unique=True), st.randoms(use_true_random=False))
+def test_reordering_extent_properties(expected, rng):
+    arrival = list(expected)
+    rng.shuffle(arrival)
+    extents = reordering_extent(expected, arrival)
+    assert len(extents) == len(arrival)
+    assert all(extent >= 0 for extent in extents)
+    assert n_reordering(expected, arrival) == (max(extents) if extents else 0)
+    assert n_reordering(expected, sorted(arrival, key=expected.index)) == 0
+
+
+@given(st.floats(min_value=0.0, max_value=1.0), st.integers(min_value=2, max_value=100))
+def test_sequence_probability_monotone_and_bounded(rate, length):
+    probability = sequence_reordering_probability(rate, length)
+    assert 0.0 <= probability <= 1.0
+    longer = sequence_reordering_probability(rate, length + 1)
+    assert longer >= probability - 1e-12
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=200))
+def test_cdf_is_a_distribution_function(values):
+    cdf = EmpiricalCdf(values)
+    assert cdf.evaluate(min(values) - 1.0) == 0.0
+    assert cdf.evaluate(max(values)) == 1.0
+    points = cdf.points()
+    fractions = [fraction for _value, fraction in points]
+    assert fractions == sorted(fractions)
+
+
+@given(st.integers(min_value=0, max_value=500), st.integers(min_value=1, max_value=500))
+def test_wilson_interval_always_contains_point_estimate(successes, extra):
+    trials = successes + extra
+    low, high = wilson_interval(successes, trials)
+    rate = successes / trials
+    assert 0.0 <= low <= rate <= high <= 1.0
+
+
+@given(st.floats(min_value=0.001, max_value=0.999), st.integers(min_value=1, max_value=200))
+@settings(max_examples=40)
+def test_t_quantile_inverts_cdf(probability, dof):
+    value = t_quantile(probability, dof)
+    assert abs(t_cdf(value, dof) - probability) < 1e-5

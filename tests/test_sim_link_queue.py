@@ -1,0 +1,96 @@
+"""Tests for links and drop-tail queues."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.flow import parse_address
+from repro.net.packet import Packet, TcpHeader
+from repro.sim.link import Link
+from repro.sim.queueing import DropTailQueue
+from repro.sim.simulator import Simulator
+
+SRC = parse_address("10.0.0.1")
+DST = parse_address("10.0.0.2")
+
+
+def _packet(payload: bytes = b"") -> Packet:
+    return Packet.tcp_packet(SRC, DST, TcpHeader(src_port=1, dst_port=2), payload=payload)
+
+
+def test_link_propagation_delay():
+    sim = Simulator()
+    arrivals = []
+    link = Link(bandwidth_bps=None, propagation_delay=0.01)
+    link.attach(sim, lambda p: arrivals.append((sim.now, p.uid)))
+    packet = _packet()
+    link.handle_packet(packet)
+    sim.run_until_idle()
+    assert arrivals == [(pytest.approx(0.01), packet.uid)]
+
+
+def test_link_serialization_delay():
+    sim = Simulator()
+    arrivals = []
+    link = Link(bandwidth_bps=8000.0, propagation_delay=0.0)  # 1000 bytes per second
+    link.attach(sim, lambda p: arrivals.append(sim.now))
+    link.handle_packet(_packet(payload=b"\x00" * 60))  # 100 bytes total
+    sim.run_until_idle()
+    assert arrivals[0] == pytest.approx(0.1)
+
+
+def test_link_is_fifo_and_accumulates_backlog():
+    sim = Simulator()
+    arrivals = []
+    link = Link(bandwidth_bps=8000.0, propagation_delay=0.0)
+    link.attach(sim, lambda p: arrivals.append((sim.now, p.uid)))
+    first = _packet(payload=b"\x00" * 60)
+    second = _packet(payload=b"\x00" * 60)
+    link.handle_packet(first)
+    link.handle_packet(second)
+    sim.run_until_idle()
+    assert [uid for _t, uid in arrivals] == [first.uid, second.uid]
+    assert arrivals[1][0] == pytest.approx(0.2)
+    assert link.packets_carried == 2
+    assert link.bytes_carried == 200
+
+
+def test_link_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        Link(bandwidth_bps=0.0)
+    with pytest.raises(ValueError):
+        Link(propagation_delay=-0.1)
+
+
+def test_queue_preserves_order_and_counts():
+    sim = Simulator()
+    arrivals = []
+    queue = DropTailQueue(service_rate_bps=8000.0, capacity_packets=10)
+    queue.attach(sim, lambda p: arrivals.append(p.uid))
+    packets = [_packet(payload=b"\x00" * 60) for _ in range(3)]
+    for packet in packets:
+        queue.handle_packet(packet)
+    assert queue.occupancy == 3
+    sim.run_until_idle()
+    assert arrivals == [p.uid for p in packets]
+    assert queue.occupancy == 0
+    assert queue.packets_forwarded == 3
+
+
+def test_queue_drops_when_full():
+    sim = Simulator()
+    arrivals = []
+    queue = DropTailQueue(service_rate_bps=8000.0, capacity_packets=2)
+    queue.attach(sim, lambda p: arrivals.append(p.uid))
+    for _ in range(5):
+        queue.handle_packet(_packet(payload=b"\x00" * 60))
+    sim.run_until_idle()
+    assert queue.packets_dropped == 3
+    assert len(arrivals) == 2
+
+
+def test_queue_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        DropTailQueue(service_rate_bps=0.0)
+    with pytest.raises(ValueError):
+        DropTailQueue(service_rate_bps=1.0, capacity_packets=0)

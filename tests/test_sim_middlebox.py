@@ -1,0 +1,116 @@
+"""Tests for the load balancer and ICMP limiting middleboxes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.flow import parse_address
+from repro.net.packet import ICMP_ECHO_REQUEST, IcmpEcho, Packet, TcpHeader
+from repro.sim.middlebox import IcmpFilter, IcmpRateLimiter, LoadBalancer
+from repro.sim.simulator import Simulator
+
+PROBE = parse_address("10.0.0.1")
+VIP = parse_address("10.9.0.1")
+
+
+class _RecordingBackend:
+    def __init__(self) -> None:
+        self.packets = []
+
+    def deliver(self, packet: Packet) -> None:
+        self.packets.append(packet)
+
+
+def _tcp(src_port: int, dst_port: int = 80) -> Packet:
+    return Packet.tcp_packet(PROBE, VIP, TcpHeader(src_port=src_port, dst_port=dst_port))
+
+
+def _icmp() -> Packet:
+    echo = IcmpEcho(ICMP_ECHO_REQUEST, identifier=1, sequence=1)
+    return Packet.icmp_packet(PROBE, VIP, echo)
+
+
+def test_load_balancer_requires_backends():
+    with pytest.raises(ValueError):
+        LoadBalancer([])
+
+
+def test_same_flow_always_hits_same_backend():
+    backends = [_RecordingBackend() for _ in range(4)]
+    balancer = LoadBalancer(backends, hash_salt=7)
+    for _ in range(20):
+        balancer.deliver(_tcp(src_port=40000))
+    hit = [backend for backend in backends if backend.packets]
+    assert len(hit) == 1
+    assert len(hit[0].packets) == 20
+
+
+def test_both_directions_of_a_flow_share_a_backend():
+    backends = [_RecordingBackend() for _ in range(4)]
+    balancer = LoadBalancer(backends, hash_salt=3)
+    forward = _tcp(src_port=41000)
+    reverse = Packet.tcp_packet(VIP, PROBE, TcpHeader(src_port=80, dst_port=41000))
+    index_forward = balancer.backend_for_flow(forward.four_tuple().flow_key())
+    index_reverse = balancer.backend_for_flow(reverse.four_tuple().flow_key())
+    assert index_forward == index_reverse
+
+
+def test_distinct_connections_spread_across_backends():
+    backends = [_RecordingBackend() for _ in range(4)]
+    balancer = LoadBalancer(backends, hash_salt=11)
+    for port in range(42000, 42080):
+        balancer.deliver(_tcp(src_port=port))
+    used = sum(1 for backend in backends if backend.packets)
+    assert used >= 2
+    assert len(balancer.flows_assigned) == 80
+
+
+def test_non_tcp_traffic_goes_to_first_backend():
+    backends = [_RecordingBackend() for _ in range(3)]
+    balancer = LoadBalancer(backends)
+    balancer.deliver(_icmp())
+    assert len(backends[0].packets) == 1
+    assert balancer.non_tcp_packets == 1
+
+
+def test_icmp_rate_limiter_passes_tcp_untouched():
+    sim = Simulator()
+    out = []
+    limiter = IcmpRateLimiter(rate_per_second=1.0, burst=1)
+    limiter.attach(sim, out.append)
+    for port in range(40000, 40020):
+        limiter.handle_packet(_tcp(src_port=port))
+    assert len(out) == 20
+
+
+def test_icmp_rate_limiter_enforces_budget():
+    sim = Simulator()
+    out = []
+    limiter = IcmpRateLimiter(rate_per_second=10.0, burst=2)
+    limiter.attach(sim, out.append)
+    for _ in range(10):
+        limiter.handle_packet(_icmp())
+    assert limiter.icmp_forwarded == 2
+    assert limiter.icmp_dropped == 8
+    # After enough simulated time the bucket refills.
+    sim.run_for(1.0)
+    limiter.handle_packet(_icmp())
+    assert limiter.icmp_forwarded == 3
+
+
+def test_icmp_rate_limiter_validation():
+    with pytest.raises(ValueError):
+        IcmpRateLimiter(rate_per_second=0.0)
+    with pytest.raises(ValueError):
+        IcmpRateLimiter(rate_per_second=1.0, burst=0)
+
+
+def test_icmp_filter_drops_only_icmp():
+    sim = Simulator()
+    out = []
+    element = IcmpFilter()
+    element.attach(sim, out.append)
+    element.handle_packet(_icmp())
+    element.handle_packet(_tcp(src_port=50000))
+    assert len(out) == 1
+    assert element.icmp_dropped == 1

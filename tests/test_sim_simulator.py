@@ -1,0 +1,114 @@
+"""Tests for the clock, event queue, and simulator core."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.errors import ClockError, SimulationError
+from repro.sim.clock import SimClock
+from repro.sim.events import EventQueue
+from repro.sim.simulator import Simulator
+
+
+def test_clock_moves_forward_only():
+    clock = SimClock()
+    clock.advance_to(5.0)
+    assert clock.now == 5.0
+    with pytest.raises(ClockError):
+        clock.advance_to(4.0)
+
+
+def test_clock_rejects_negative_start():
+    with pytest.raises(ClockError):
+        SimClock(start=-1.0)
+
+
+def test_event_queue_orders_by_time_then_insertion():
+    queue = EventQueue()
+    fired = []
+    queue.push(2.0, lambda: fired.append("late"))
+    queue.push(1.0, lambda: fired.append("early-1"))
+    queue.push(1.0, lambda: fired.append("early-2"))
+    while (event := queue.pop()) is not None:
+        event.callback()
+    assert fired == ["early-1", "early-2", "late"]
+
+
+def test_event_cancellation():
+    queue = EventQueue()
+    fired = []
+    keep = queue.push(1.0, lambda: fired.append("keep"))
+    drop = queue.push(0.5, lambda: fired.append("drop"))
+    queue.cancel(drop)
+    assert len(queue) == 1
+    event = queue.pop()
+    assert event is keep
+    del fired
+
+
+def test_simulator_schedule_and_run():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(sim.now))
+    sim.schedule(2.0, lambda: fired.append(sim.now))
+    sim.run_until_idle()
+    assert fired == [1.0, 2.0]
+    assert sim.now == 2.0
+    assert sim.processed_events == 2
+
+
+def test_simulator_rejects_negative_delay():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_simulator_run_for_advances_clock_without_events():
+    sim = Simulator()
+    sim.run_for(3.5)
+    assert sim.now == 3.5
+
+
+def test_simulator_run_until_predicate():
+    sim = Simulator()
+    state = {"done": False}
+    sim.schedule(0.5, lambda: state.update(done=True))
+    assert sim.run_until(lambda: state["done"], timeout=1.0)
+    assert sim.now == pytest.approx(0.5)
+
+
+def test_simulator_run_until_timeout():
+    sim = Simulator()
+    assert not sim.run_until(lambda: False, timeout=0.25)
+    assert sim.now == pytest.approx(0.25)
+
+
+def test_simulator_run_until_does_not_overrun_deadline():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, lambda: fired.append("too late"))
+    sim.run_until(lambda: False, timeout=1.0)
+    assert not fired
+    assert sim.pending_events == 1
+
+
+def test_nested_scheduling_during_events():
+    sim = Simulator()
+    seen = []
+
+    def outer() -> None:
+        seen.append(("outer", sim.now))
+        sim.schedule(0.5, lambda: seen.append(("inner", sim.now)))
+
+    sim.schedule(1.0, outer)
+    sim.run_until_idle()
+    assert seen == [("outer", 1.0), ("inner", 1.5)]
+
+
+def test_cancel_scheduled_event_via_simulator():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, lambda: fired.append(1))
+    sim.cancel(event)
+    sim.run_until_idle()
+    assert not fired

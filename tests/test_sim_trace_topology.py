@@ -1,0 +1,156 @@
+"""Tests for trace capture, pipelines, and the topology."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.errors import SimulationError, TopologyError
+from repro.net.flow import parse_address
+from repro.net.packet import Packet, TcpHeader
+from repro.sim.path import DuplexPath, Pipeline
+from repro.sim.reorder import PassthroughElement
+from repro.sim.simulator import Simulator
+from repro.sim.topology import Topology
+from repro.sim.trace import TraceCapture
+
+PROBE = parse_address("10.0.0.1")
+SERVER = parse_address("10.0.0.2")
+
+
+def _packet(dst: int = SERVER) -> Packet:
+    return Packet.tcp_packet(PROBE, dst, TcpHeader(src_port=1000, dst_port=80))
+
+
+def test_trace_records_and_orders():
+    sim = Simulator()
+    out = []
+    trace = TraceCapture(point="t")
+    trace.attach(sim, out.append)
+    first, second = _packet(), _packet()
+    trace.handle_packet(first)
+    trace.handle_packet(second)
+    assert len(trace) == 2
+    assert trace.arrival_order([second.uid, first.uid]) == [first.uid, second.uid]
+    assert trace.arrival_time(first.uid) == 0.0
+    assert trace.was_exchanged(first.uid, second.uid) is False
+    assert trace.was_exchanged(second.uid, first.uid) is True
+    assert len(out) == 2
+
+
+def test_trace_handles_missing_packets():
+    sim = Simulator()
+    trace = TraceCapture()
+    trace.attach(sim, lambda p: None)
+    lone = _packet()
+    trace.handle_packet(lone)
+    assert trace.was_exchanged(lone.uid, 999999) is None
+    assert trace.arrival_time(999999) is None
+
+
+def test_trace_count_exchanged_pairs_and_clear():
+    sim = Simulator()
+    trace = TraceCapture()
+    trace.attach(sim, lambda p: None)
+    a, b, c, d = (_packet() for _ in range(4))
+    for packet in (b, a, c, d):
+        trace.handle_packet(packet)
+    pairs = [(a.uid, b.uid), (c.uid, d.uid)]
+    assert trace.count_exchanged_pairs(pairs) == 1
+    trace.clear()
+    assert len(trace) == 0
+
+
+def test_pipeline_chains_elements_in_order():
+    sim = Simulator()
+    seen = []
+    first = PassthroughElement()
+    second = PassthroughElement()
+    pipeline = Pipeline([first, second])
+    pipeline.attach(sim, lambda p: seen.append(p.uid))
+    packet = _packet()
+    pipeline.handle_packet(packet)
+    assert seen == [packet.uid]
+    assert first.packets_seen == 1
+    assert second.packets_seen == 1
+
+
+def test_empty_pipeline_is_a_wire():
+    sim = Simulator()
+    seen = []
+    pipeline = Pipeline()
+    pipeline.attach(sim, lambda p: seen.append(p.uid))
+    pipeline.handle_packet(_packet())
+    assert len(seen) == 1
+
+
+def test_pipeline_cannot_be_modified_after_attach():
+    sim = Simulator()
+    pipeline = Pipeline()
+    pipeline.attach(sim, lambda p: None)
+    with pytest.raises(SimulationError):
+        pipeline.append(PassthroughElement())
+
+
+def test_pipeline_use_before_attach_rejected():
+    pipeline = Pipeline()
+    with pytest.raises(SimulationError):
+        pipeline.handle_packet(_packet())
+
+
+class _Probe:
+    def __init__(self, address: int) -> None:
+        self.address = address
+        self.received = []
+
+    def deliver(self, packet: Packet) -> None:
+        self.received.append(packet)
+
+
+class _Site:
+    def __init__(self) -> None:
+        self.received = []
+
+    def deliver(self, packet: Packet) -> None:
+        self.received.append(packet)
+
+
+def test_topology_routes_forward_and_reverse():
+    sim = Simulator()
+    topology = Topology(sim)
+    probe = _Probe(PROBE)
+    site = _Site()
+    topology.attach_probe(probe)
+    topology.add_site(SERVER, site, DuplexPath(Pipeline(), Pipeline()))
+
+    topology.send_from_probe(_packet())
+    assert len(site.received) == 1
+
+    transmit = topology.transmit_for_site(SERVER)
+    transmit(Packet.tcp_packet(SERVER, PROBE, TcpHeader(src_port=80, dst_port=1000)))
+    assert len(probe.received) == 1
+    assert topology.packets_routed == 2
+
+
+def test_topology_unroutable_packets_counted():
+    sim = Simulator()
+    topology = Topology(sim)
+    topology.attach_probe(_Probe(PROBE))
+    topology.send_from_probe(_packet(dst=parse_address("203.0.113.9")))
+    assert topology.packets_unroutable == 1
+
+
+def test_topology_rejects_misuse():
+    sim = Simulator()
+    topology = Topology(sim)
+    with pytest.raises(TopologyError):
+        topology.add_site(SERVER, _Site(), DuplexPath(Pipeline(), Pipeline()))
+    topology.attach_probe(_Probe(PROBE))
+    topology.add_site(SERVER, _Site(), DuplexPath(Pipeline(), Pipeline()))
+    with pytest.raises(TopologyError):
+        topology.add_site(SERVER, _Site(), DuplexPath(Pipeline(), Pipeline()))
+    with pytest.raises(TopologyError):
+        topology.site_for(parse_address("198.51.100.1"))
+    with pytest.raises(TopologyError):
+        topology.transmit_for_site(parse_address("198.51.100.1"))
+    assert topology.addresses() == (SERVER,)
+    assert topology.path_for(SERVER) is not None

@@ -1,0 +1,70 @@
+"""Tests for the empirical CDF."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.errors import AnalysisError
+from repro.stats.cdf import EmpiricalCdf, merge_cdfs
+
+
+def test_cdf_evaluate_basic():
+    cdf = EmpiricalCdf([1.0, 2.0, 3.0, 4.0])
+    assert cdf.evaluate(0.5) == 0.0
+    assert cdf.evaluate(2.0) == pytest.approx(0.5)
+    assert cdf.evaluate(4.0) == pytest.approx(1.0)
+    assert cdf.evaluate(10.0) == pytest.approx(1.0)
+
+
+def test_cdf_fraction_above_zero_counts_reordering_paths():
+    rates = [0.0, 0.0, 0.0, 0.01, 0.05, 0.2]
+    cdf = EmpiricalCdf(rates)
+    assert cdf.fraction_above(0.0) == pytest.approx(0.5)
+
+
+def test_cdf_points_are_monotone():
+    cdf = EmpiricalCdf([0.3, 0.1, 0.2, 0.2])
+    points = cdf.points()
+    values = [v for v, _f in points]
+    fractions = [f for _v, f in points]
+    assert values == sorted(values)
+    assert fractions == sorted(fractions)
+    assert fractions[-1] == pytest.approx(1.0)
+
+
+def test_cdf_quantile_matches_values():
+    cdf = EmpiricalCdf([1.0, 2.0, 3.0, 4.0, 5.0])
+    assert cdf.quantile(0.0) == 1.0
+    assert cdf.quantile(1.0) == 5.0
+    assert cdf.quantile(0.5) in (2.0, 3.0)
+
+
+def test_cdf_quantile_rejects_bad_level():
+    cdf = EmpiricalCdf([1.0])
+    with pytest.raises(AnalysisError):
+        cdf.quantile(-0.1)
+
+
+def test_cdf_empty_rejected():
+    with pytest.raises(AnalysisError):
+        EmpiricalCdf([])
+
+
+def test_cdf_to_rows_formatting():
+    cdf = EmpiricalCdf([0.25, 0.75])
+    rows = cdf.to_rows(precision=2)
+    assert rows[0].startswith("0.25\t")
+    assert rows[1].endswith("1.0000")
+
+
+def test_merge_cdfs_pools_samples():
+    a = EmpiricalCdf([1.0, 2.0])
+    b = EmpiricalCdf([3.0])
+    merged = merge_cdfs([a, b])
+    assert len(merged) == 3
+    assert merged.evaluate(2.5) == pytest.approx(2.0 / 3.0)
+
+
+def test_merge_cdfs_empty_list_rejected():
+    with pytest.raises(AnalysisError):
+        merge_cdfs([])

@@ -1,0 +1,67 @@
+"""Tests for descriptive statistics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.net.errors import AnalysisError
+from repro.stats.descriptive import mean, median, quantile, stddev, summarize, variance
+
+
+def test_mean_simple():
+    assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+
+def test_mean_empty_raises():
+    with pytest.raises(AnalysisError):
+        mean([])
+
+
+def test_variance_and_stddev_sample():
+    values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+    assert variance(values, ddof=0) == pytest.approx(4.0)
+    assert stddev(values, ddof=0) == pytest.approx(2.0)
+    assert variance(values) == pytest.approx(32.0 / 7.0)
+
+
+def test_variance_needs_enough_values():
+    with pytest.raises(AnalysisError):
+        variance([1.0])
+
+
+def test_median_odd_even():
+    assert median([3.0, 1.0, 2.0]) == pytest.approx(2.0)
+    assert median([4.0, 1.0, 2.0, 3.0]) == pytest.approx(2.5)
+
+
+def test_quantile_interpolation():
+    values = [0.0, 10.0]
+    assert quantile(values, 0.25) == pytest.approx(2.5)
+    assert quantile(values, 0.0) == pytest.approx(0.0)
+    assert quantile(values, 1.0) == pytest.approx(10.0)
+
+
+def test_quantile_rejects_bad_level():
+    with pytest.raises(AnalysisError):
+        quantile([1.0], 1.5)
+
+
+def test_summarize_fields_consistent():
+    values = [float(v) for v in range(1, 11)]
+    summary = summarize(values)
+    assert summary.count == 10
+    assert summary.minimum == 1.0
+    assert summary.maximum == 10.0
+    assert summary.mean == pytest.approx(5.5)
+    assert summary.median == pytest.approx(5.5)
+    assert summary.p25 <= summary.median <= summary.p75
+    assert math.isfinite(summary.stddev)
+    assert "n=10" in summary.describe()
+
+
+def test_summarize_single_value_has_zero_spread():
+    summary = summarize([3.0])
+    assert summary.stddev == 0.0
+    assert summary.minimum == summary.maximum == 3.0

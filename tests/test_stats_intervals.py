@@ -1,0 +1,63 @@
+"""Tests for binomial estimates and confidence intervals."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.errors import AnalysisError
+from repro.stats.intervals import binomial_estimate, normal_interval, wilson_interval
+
+
+def test_wilson_interval_contains_point_estimate():
+    low, high = wilson_interval(30, 100)
+    assert low < 0.3 < high
+
+
+def test_wilson_interval_bounded():
+    low, high = wilson_interval(0, 10)
+    assert low == 0.0
+    assert 0.0 <= high <= 1.0
+    low, high = wilson_interval(10, 10)
+    assert high == pytest.approx(1.0)
+
+
+def test_wilson_narrower_with_more_trials():
+    low_small, high_small = wilson_interval(10, 100)
+    low_big, high_big = wilson_interval(100, 1000)
+    assert (high_big - low_big) < (high_small - low_small)
+
+
+def test_wilson_wider_at_higher_confidence():
+    low95, high95 = wilson_interval(20, 100, confidence=0.95)
+    low999, high999 = wilson_interval(20, 100, confidence=0.999)
+    assert (high999 - low999) > (high95 - low95)
+
+
+def test_normal_interval_reasonable():
+    low, high = normal_interval(50, 100)
+    assert low == pytest.approx(0.5 - 1.96 * 0.05, abs=1e-3)
+    assert high == pytest.approx(0.5 + 1.96 * 0.05, abs=1e-3)
+
+
+def test_invalid_inputs_rejected():
+    with pytest.raises(AnalysisError):
+        wilson_interval(1, 0)
+    with pytest.raises(AnalysisError):
+        wilson_interval(5, 3)
+    with pytest.raises(AnalysisError):
+        normal_interval(-1, 10)
+
+
+def test_binomial_estimate_fields():
+    estimate = binomial_estimate(7, 70)
+    assert estimate.rate == pytest.approx(0.1)
+    assert estimate.successes == 7
+    assert estimate.trials == 70
+    assert estimate.ci_low <= estimate.rate <= estimate.ci_high
+    assert "7/70" in estimate.describe()
+
+
+def test_arbitrary_confidence_uses_bisection():
+    low, high = wilson_interval(10, 100, confidence=0.93)
+    low95, high95 = wilson_interval(10, 100, confidence=0.95)
+    assert (high - low) < (high95 - low95)

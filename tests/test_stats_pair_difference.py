@@ -1,0 +1,59 @@
+"""Tests for the pair-difference agreement statistic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.errors import AnalysisError
+from repro.stats.pair_difference import paired_difference_test
+
+
+def test_identical_series_support_null():
+    series = [0.1, 0.2, 0.15, 0.12, 0.18]
+    result = paired_difference_test(series, list(series))
+    assert result.supports_null
+    assert result.mean_difference == pytest.approx(0.0)
+    assert result.ci_low == result.ci_high == pytest.approx(0.0)
+
+
+def test_small_noise_supports_null():
+    series_a = [0.10, 0.12, 0.11, 0.13, 0.09, 0.10, 0.12]
+    series_b = [0.11, 0.10, 0.12, 0.12, 0.10, 0.11, 0.11]
+    result = paired_difference_test(series_a, series_b, confidence=0.999)
+    assert result.supports_null
+
+
+def test_systematic_offset_rejects_null():
+    series_a = [0.30 + 0.01 * (i % 3) for i in range(12)]
+    series_b = [0.10 + 0.01 * (i % 3) for i in range(12)]
+    result = paired_difference_test(series_a, series_b, confidence=0.999)
+    assert not result.supports_null
+    assert result.mean_difference == pytest.approx(0.20, abs=1e-9)
+
+
+def test_higher_confidence_is_more_permissive():
+    series_a = [0.12, 0.15, 0.11, 0.16, 0.13, 0.14]
+    series_b = [0.10, 0.12, 0.10, 0.13, 0.11, 0.12]
+    narrow = paired_difference_test(series_a, series_b, confidence=0.80)
+    wide = paired_difference_test(series_a, series_b, confidence=0.999)
+    assert (wide.ci_high - wide.ci_low) > (narrow.ci_high - narrow.ci_low)
+
+
+def test_describe_mentions_verdict():
+    result = paired_difference_test([0.1, 0.2, 0.3], [0.1, 0.2, 0.3])
+    assert "agree" in result.describe()
+
+
+def test_mismatched_lengths_rejected():
+    with pytest.raises(AnalysisError):
+        paired_difference_test([0.1, 0.2], [0.1])
+
+
+def test_too_few_pairs_rejected():
+    with pytest.raises(AnalysisError):
+        paired_difference_test([0.1], [0.1])
+
+
+def test_bad_confidence_rejected():
+    with pytest.raises(AnalysisError):
+        paired_difference_test([0.1, 0.2], [0.1, 0.2], confidence=1.0)

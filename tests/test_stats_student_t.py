@@ -1,0 +1,59 @@
+"""Tests for the Student's t quantile implementation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.net.errors import AnalysisError
+from repro.stats.student_t import incomplete_beta, t_cdf, t_quantile
+
+
+def test_t_cdf_symmetry():
+    for dof in (1, 5, 30):
+        assert t_cdf(0.0, dof) == pytest.approx(0.5, abs=1e-9)
+        assert t_cdf(1.5, dof) + t_cdf(-1.5, dof) == pytest.approx(1.0, abs=1e-9)
+
+
+def test_known_t_quantiles():
+    # Classic table values: t_{0.975} for various degrees of freedom.
+    assert t_quantile(0.975, 1) == pytest.approx(12.706, abs=0.01)
+    assert t_quantile(0.975, 5) == pytest.approx(2.571, abs=0.005)
+    assert t_quantile(0.975, 30) == pytest.approx(2.042, abs=0.005)
+    assert t_quantile(0.9995, 10) == pytest.approx(4.587, abs=0.01)
+
+
+def test_t_quantile_approaches_normal_for_large_dof():
+    assert t_quantile(0.975, 10000) == pytest.approx(1.96, abs=0.01)
+
+
+def test_t_quantile_median_is_zero():
+    assert t_quantile(0.5, 7) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_t_quantile_monotone_in_probability():
+    values = [t_quantile(p, 9) for p in (0.6, 0.75, 0.9, 0.99)]
+    assert values == sorted(values)
+
+
+def test_incomplete_beta_boundaries():
+    assert incomplete_beta(2.0, 3.0, 0.0) == 0.0
+    assert incomplete_beta(2.0, 3.0, 1.0) == 1.0
+    assert incomplete_beta(2.0, 2.0, 0.5) == pytest.approx(0.5, abs=1e-9)
+
+
+def test_invalid_inputs_rejected():
+    with pytest.raises(AnalysisError):
+        t_quantile(1.5, 5)
+    with pytest.raises(AnalysisError):
+        t_quantile(0.9, 0)
+    with pytest.raises(AnalysisError):
+        t_cdf(1.0, -1)
+
+
+def test_cdf_quantile_round_trip():
+    for probability in (0.6, 0.9, 0.999):
+        value = t_quantile(probability, 12)
+        assert t_cdf(value, 12) == pytest.approx(probability, abs=1e-6)
+        assert math.isfinite(value)
