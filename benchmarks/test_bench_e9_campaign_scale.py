@@ -1,0 +1,76 @@
+"""E9 — Campaign throughput: serial engine vs. sharded runner.
+
+The paper's survey (§IV-B) is embarrassingly parallel across hosts: every
+probe-to-host path is independent, so the only thing serialising the campaign
+is the single event loop.  This benchmark runs the same campaign twice — once
+on the single-simulator :class:`Campaign`, once through the sharded
+:class:`CampaignRunner` — records the throughput of each in measurements per
+second, and verifies the two datasets are identical modulo ordering.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from bench_helpers import run_once
+
+from repro.core.campaign import Campaign, CampaignConfig
+from repro.core.prober import TestName
+from repro.core.runner import EXECUTOR_PROCESS, CampaignRunner, result_signature
+from repro.workloads.population import PopulationSpec, generate_population
+from repro.workloads.testbed import build_testbed
+
+NUM_HOSTS = 12
+SHARDS = 4
+SEED = 97
+
+CONFIG = CampaignConfig(
+    rounds=2,
+    samples_per_measurement=10,
+    tests=(TestName.SINGLE_CONNECTION, TestName.SYN),
+    inter_measurement_gap=0.2,
+    inter_round_gap=1.0,
+)
+
+
+def _run():
+    # No load balancers: LB backend selection hashes ephemeral ports, which
+    # depend on shard layout, so the serial-vs-sharded identity assert below
+    # is only guaranteed for LB-free populations (see repro.core.runner).
+    spec = PopulationSpec(
+        num_hosts=NUM_HOSTS, reordering_path_fraction=0.5, load_balanced_fraction=0.0
+    )
+    specs = generate_population(spec, seed=SEED)
+
+    start = time.perf_counter()
+    testbed = build_testbed(specs, seed=SEED, stable_site_seeds=True)
+    serial = Campaign(testbed.probe, testbed.addresses(), CONFIG).run()
+    serial_elapsed = time.perf_counter() - start
+
+    start = time.perf_counter()
+    runner = CampaignRunner(
+        specs, CONFIG, seed=SEED, shards=SHARDS, executor=EXECUTOR_PROCESS
+    )
+    sharded = runner.run()
+    sharded_elapsed = time.perf_counter() - start
+
+    return serial, serial_elapsed, sharded, sharded_elapsed
+
+
+def test_bench_campaign_scale(benchmark):
+    serial, serial_elapsed, sharded, sharded_elapsed = run_once(benchmark, _run)
+
+    measurements = len(serial.records)
+    serial_rate = measurements / serial_elapsed
+    sharded_rate = measurements / sharded_elapsed
+    print()
+    print(f"campaign: {NUM_HOSTS} hosts x {CONFIG.rounds} rounds x "
+          f"{len(CONFIG.tests)} tests = {measurements} measurements")
+    print(f"serial engine:  {serial_elapsed:8.3f} s  {serial_rate:8.1f} measurements/s")
+    print(f"sharded runner: {sharded_elapsed:8.3f} s  {sharded_rate:8.1f} measurements/s "
+          f"({SHARDS} shards, {os.cpu_count()} cores, speedup x{serial_elapsed / sharded_elapsed:.2f})")
+
+    # Sharding must never change what was measured.
+    assert len(sharded.records) == measurements
+    assert result_signature(sharded) == result_signature(serial)

@@ -22,6 +22,7 @@ from repro.core import (
     Campaign,
     CampaignConfig,
     CampaignResult,
+    CampaignRunner,
     DataTransferTest,
     Direction,
     DualConnectionTest,
@@ -48,6 +49,8 @@ from repro.workloads import (
     Testbed,
     build_testbed,
     generate_population,
+    generate_population_shards,
+    partition_specs,
 )
 
 __version__ = "1.0.0"
@@ -56,6 +59,7 @@ __all__ = [
     "Campaign",
     "CampaignConfig",
     "CampaignResult",
+    "CampaignRunner",
     "DataTransferTest",
     "Direction",
     "DualConnectionTest",
@@ -82,6 +86,8 @@ __all__ = [
     "TestName",
     "build_testbed",
     "generate_population",
+    "generate_population_shards",
+    "partition_specs",
     "profile_by_name",
     "quick_testbed",
     "validate_host_ipid",

@@ -9,18 +9,25 @@ from repro.analysis.figures import (
     build_fig7_series,
 )
 from repro.analysis.report import format_table
-from repro.analysis.survey import EligibilitySummary, summarize_eligibility
+from repro.analysis.survey import (
+    EligibilitySummary,
+    SurveyRun,
+    run_sharded_survey,
+    summarize_eligibility,
+)
 from repro.analysis.validation import validation_table
 
 __all__ = [
     "AgreementCell",
     "AgreementMatrix",
     "EligibilitySummary",
+    "SurveyRun",
     "build_fig5_cdf",
     "build_fig6_series",
     "build_fig7_series",
     "compute_agreement",
     "format_table",
+    "run_sharded_survey",
     "summarize_eligibility",
     "validation_table",
 ]

@@ -38,10 +38,22 @@ from repro.core.single_connection import SingleConnectionTest
 from repro.core.syn_test import SynTest
 from repro.core.timeseries import SpacingPoint, SpacingSweep, SpacingSweepResult
 
+# Imported last: the runner pulls in repro.workloads (testbed construction),
+# which itself imports the core submodules loaded above.
+from repro.core.runner import (
+    CampaignRunner,
+    ShardOutcome,
+    ShardTask,
+    record_signature,
+    result_signature,
+    run_shard,
+)
+
 __all__ = [
     "Campaign",
     "CampaignConfig",
     "CampaignResult",
+    "CampaignRunner",
     "DataTransferTest",
     "Direction",
     "DualConnectionTest",
@@ -55,6 +67,8 @@ __all__ = [
     "ReorderSample",
     "ReorderingEstimate",
     "SampleOutcome",
+    "ShardOutcome",
+    "ShardTask",
     "SingleConnectionTest",
     "SpacingPoint",
     "SpacingSweep",
@@ -66,8 +80,11 @@ __all__ = [
     "exchange_metric",
     "n_reordering",
     "reordered_packet_ratio",
+    "record_signature",
     "reordering_extent",
     "reordering_rate",
+    "result_signature",
+    "run_shard",
     "sequence_reordering_probability",
     "validate_host_ipid",
 ]

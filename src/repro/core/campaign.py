@@ -5,6 +5,14 @@ techniques against each, with idle gaps between measurements.  The resulting
 dataset is what the analysis layer turns into the Figure 5 CDF, the Figure 6
 per-host time series, the eligibility table, and the pairwise-agreement
 statistics.
+
+:class:`Campaign` here is the single-simulator engine: one event loop, one
+probe host, hosts visited strictly in sequence.  For survey-scale runs use
+:class:`repro.core.runner.CampaignRunner`, which partitions the host list
+into shards, runs each shard's ``Campaign`` on its own simulator (optionally
+in parallel worker processes), and merges the shard records back into one
+:class:`CampaignResult`.  The layering and the determinism guarantees are
+documented in ``docs/architecture.md``.
 """
 
 from __future__ import annotations
@@ -51,15 +59,39 @@ class HostRoundResult:
 
 @dataclass(slots=True)
 class CampaignResult:
-    """Everything a campaign measured."""
+    """Everything a campaign measured.
+
+    Records are stored both as a flat, insertion-ordered list (``records``,
+    the authoritative dataset) and in per-``(host, test)`` buckets so the
+    per-path accessors (``records_for``, ``rates_for``, ``mean_rate``,
+    ``path_rates``, ``ineligible_hosts``) are bucket lookups instead of
+    full-dataset scans.  ``path_rates`` over H hosts used to be O(H·N) in the
+    total record count N; it is now linear in the records actually selected.
+    """
 
     config: CampaignConfig
     host_addresses: tuple[int, ...]
     records: list[HostRoundResult] = field(default_factory=list)
+    _buckets: dict[tuple[int, TestName], list[HostRoundResult]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        for record in self.records:
+            self._bucket(record.host_address, record.test).append(record)
+
+    def _bucket(self, host_address: int, test: TestName) -> list[HostRoundResult]:
+        return self._buckets.setdefault((host_address, test), [])
 
     def add(self, record: HostRoundResult) -> None:
         """Append one measurement record."""
         self.records.append(record)
+        self._bucket(record.host_address, record.test).append(record)
+
+    def extend(self, records: Iterable[HostRoundResult]) -> None:
+        """Append many measurement records (e.g. one shard's output)."""
+        for record in records:
+            self.add(record)
 
     def records_for(
         self,
@@ -67,6 +99,10 @@ class CampaignResult:
         test: Optional[TestName] = None,
     ) -> list[HostRoundResult]:
         """Filter records by host and/or test."""
+        if host_address is not None and test is not None:
+            return list(self._buckets.get((host_address, test), ()))
+        if host_address is None and test is None:
+            return list(self.records)
         selected = []
         for record in self.records:
             if host_address is not None and record.host_address != host_address:

@@ -4,6 +4,12 @@ The paper's survey machine cycled through all four tests on each host; the
 :class:`Prober` provides that uniform interface, normalising the differences
 between the techniques (eligibility failures, handshake failures, variable
 sample counts) into a single :class:`ProbeReport`.
+
+One prober serves one simulator.  Survey-scale work drives many probers at
+once: :class:`repro.core.runner.CampaignRunner` gives every shard of a host
+population its own simulator, probe host, and ``Prober``, and merges the
+reports — see ``docs/architecture.md`` ("The sharded campaign runner") for
+how the pieces fit together.
 """
 
 from __future__ import annotations
@@ -43,16 +49,24 @@ class ProbeReport:
     host_address: int
     result: Optional[MeasurementResult]
     error: Optional[str] = None
+    ineligible: bool = False
+    """True when the host failed a precondition (e.g. IPID validation).
+
+    Set explicitly where :class:`~repro.net.errors.HostNotEligibleError` is
+    caught, replacing the old property that pattern-matched the error string.
+    ``report.ineligible`` reads the same as before, and reports constructed
+    with only a ``"not eligible: ..."`` error string are still flagged (see
+    ``__post_init__``) for back-compat.
+    """
+
+    def __post_init__(self) -> None:
+        if not self.ineligible and self.error is not None and "not eligible" in self.error:
+            self.ineligible = True
 
     @property
     def succeeded(self) -> bool:
         """True when the measurement produced at least one sample."""
         return self.result is not None and self.result.sample_count() > 0
-
-    @property
-    def ineligible(self) -> bool:
-        """True when the host failed a precondition (e.g. IPID validation)."""
-        return self.error is not None and "not eligible" in self.error
 
     def rate(self, direction: Direction) -> Optional[float]:
         """Shortcut for the measured reordering rate, if any."""
@@ -115,7 +129,13 @@ class Prober:
         try:
             result = technique.run(samples, spacing=spacing)
         except HostNotEligibleError as exc:
-            return ProbeReport(test=test, host_address=address, result=None, error=f"not eligible: {exc}")
+            return ProbeReport(
+                test=test,
+                host_address=address,
+                result=None,
+                error=f"not eligible: {exc}",
+                ineligible=True,
+            )
         except MeasurementError as exc:
             return ProbeReport(test=test, host_address=address, result=None, error=str(exc))
         error = None

@@ -1,0 +1,252 @@
+"""Sharded campaign execution: the survey at scale.
+
+The paper's 20-day survey (§IV-B) cycled four measurement techniques over
+dozens of hosts from a single vantage point.  :class:`repro.core.campaign.Campaign`
+reproduces that faithfully — one simulator, one probe host, hosts visited in
+sequence — which also makes it the scaling bottleneck: a single event loop on
+a single core bounds how large a survey can get.
+
+:class:`CampaignRunner` removes that bound.  It partitions the host spec list
+into independent shards, builds each shard its own simulated world (its own
+:class:`~repro.sim.simulator.Simulator`, :class:`~repro.host.raw_socket.ProbeHost`,
+and :class:`~repro.core.prober.Prober`), runs the shards concurrently via
+:mod:`concurrent.futures` (with a serial in-process fallback), and merges the
+per-shard records into one :class:`~repro.core.campaign.CampaignResult` in
+canonical round-robin order.
+
+Determinism
+-----------
+Shard testbeds are built with ``stable_site_seeds=True``, so every site's
+random stream is derived from ``(seed, site name)`` alone — independent of
+which shard the site lands in or how many shards exist.  Two guarantees
+follow:
+
+* **Fixed layout is fully reproducible.**  For a given
+  ``(specs, config, seed, tests, shards)`` the merged dataset is identical
+  across runs, executors (process / thread / serial), and worker counts.
+* **Shard count doesn't change measurements** for sites whose behaviour
+  depends only on their own path and stack — i.e. every site *not* behind a
+  port-hashing middlebox.  The merged result then matches the serial
+  campaign's records modulo simulated timestamps (each shard's clock starts
+  at zero) and packet uids.  Sites behind a transparent load balancer are
+  the exception: backend selection hashes ephemeral ports, and the probe's
+  port sequence depends on shard composition, so an LB site may flip
+  backends when the layout changes — exactly as it would between reruns of
+  the real survey.  ``docs/architecture.md`` ("The sharded campaign
+  runner") spells this out.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from pickle import PicklingError
+from typing import Iterable, Optional, Sequence
+
+from repro.core.campaign import Campaign, CampaignConfig, CampaignResult, HostRoundResult
+from repro.core.prober import TestName
+from repro.net.errors import MeasurementError
+from repro.workloads.population import partition_specs
+from repro.workloads.testbed import HostSpec, build_testbed
+
+EXECUTOR_PROCESS = "process"
+EXECUTOR_THREAD = "thread"
+EXECUTOR_SERIAL = "serial"
+_EXECUTORS = (EXECUTOR_PROCESS, EXECUTOR_THREAD, EXECUTOR_SERIAL)
+
+
+@dataclass(frozen=True, slots=True)
+class ShardTask:
+    """One shard's complete, self-contained work order.
+
+    Everything a worker needs to rebuild its slice of the world travels in
+    this object, so a shard can run in another process as easily as inline.
+    """
+
+    index: int
+    specs: tuple[HostSpec, ...]
+    config: CampaignConfig
+    tests: Optional[tuple[TestName, ...]]
+    seed: int
+    remote_port: int
+
+
+@dataclass(slots=True)
+class ShardOutcome:
+    """What one shard measured."""
+
+    index: int
+    host_addresses: tuple[int, ...]
+    records: list[HostRoundResult]
+
+
+def record_signature(record: HostRoundResult) -> tuple:
+    """The measurement content of a record, free of run-local bookkeeping.
+
+    Two campaign runs measured the same thing exactly when their records have
+    equal signatures.  The signature keeps everything the analysis layer
+    consumes — round, host, test, error text, eligibility, and every sample's
+    per-direction outcome and spacing — and drops the two things that are
+    artifacts of *where* the record was produced: simulated timestamps (each
+    shard's clock starts at zero) and packet uids (a process-wide counter,
+    never an on-the-wire field).
+    """
+    report = record.report
+    samples: tuple = ()
+    if report.result is not None:
+        samples = tuple(
+            (sample.index, sample.forward.value, sample.reverse.value, sample.spacing)
+            for sample in report.result.samples
+        )
+    return (
+        record.round_index,
+        record.host_address,
+        record.test.value,
+        report.error or "",
+        report.ineligible,
+        samples,
+    )
+
+
+def result_signature(result: CampaignResult) -> tuple:
+    """Order-independent signature of a whole campaign dataset."""
+    return tuple(sorted(record_signature(record) for record in result.records))
+
+
+def run_shard(task: ShardTask) -> ShardOutcome:
+    """Build one shard's testbed and run its campaign to completion.
+
+    Module-level (rather than a method) so :class:`ShardTask` instances can be
+    shipped to :class:`~concurrent.futures.ProcessPoolExecutor` workers.
+    """
+    testbed = build_testbed(list(task.specs), seed=task.seed, stable_site_seeds=True)
+    campaign = Campaign(
+        testbed.probe, testbed.addresses(), task.config, remote_port=task.remote_port
+    )
+    result = campaign.run(task.tests)
+    return ShardOutcome(
+        index=task.index,
+        host_addresses=result.host_addresses,
+        records=result.records,
+    )
+
+
+class CampaignRunner:
+    """Runs a measurement campaign over a host population in parallel shards.
+
+    Parameters
+    ----------
+    specs:
+        Host specs for the whole population (e.g. from
+        :func:`repro.workloads.population.generate_population`).
+    config:
+        Campaign schedule, shared by every shard.
+    seed:
+        Base seed for every shard testbed.  Combined with stable per-site
+        seeding, this makes the merged result a pure function of
+        ``(specs, config, seed, tests, shards)``; executor choice and worker
+        count change wall-clock time, never records.  Shard *count* is also
+        irrelevant to the records except for sites behind port-hashing load
+        balancers (see the module docstring's determinism notes).
+    shards:
+        Number of partitions.  Shards beyond ``len(specs)`` are dropped
+        rather than left empty.
+    executor:
+        ``"process"`` (default) for true multi-core execution,
+        ``"thread"`` for :class:`~concurrent.futures.ThreadPoolExecutor`,
+        ``"serial"`` to run shards inline.  If a pool cannot be created or
+        breaks (sandboxes without semaphores, unpicklable platform quirks),
+        the runner falls back to serial execution of the same shard tasks.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[HostSpec],
+        config: Optional[CampaignConfig] = None,
+        *,
+        seed: int = 1,
+        remote_port: int = 80,
+        shards: int = 1,
+        executor: str = EXECUTOR_PROCESS,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        if not specs:
+            raise MeasurementError("campaign runner requires at least one host spec")
+        if shards < 1:
+            raise MeasurementError(f"campaign runner needs at least one shard: {shards}")
+        if executor not in _EXECUTORS:
+            raise MeasurementError(
+                f"unknown executor {executor!r}; expected one of {_EXECUTORS}"
+            )
+        self.specs = tuple(specs)
+        self.config = config or CampaignConfig()
+        self.seed = seed
+        self.remote_port = remote_port
+        self.shards = shards
+        self.executor = executor
+        self.max_workers = max_workers
+
+    @property
+    def host_addresses(self) -> tuple[int, ...]:
+        """Addresses of the whole population, in spec order."""
+        return tuple(spec.address for spec in self.specs)
+
+    def shard_plan(self) -> list[list[HostSpec]]:
+        """The partitions the runner will execute, in order."""
+        return partition_specs(self.specs, self.shards)
+
+    def run(self, tests: Optional[Iterable[TestName]] = None) -> CampaignResult:
+        """Execute every shard and merge the records into one result."""
+        active_tests = tuple(tests) if tests is not None else self.config.tests
+        tasks = [
+            ShardTask(
+                index=index,
+                specs=tuple(shard),
+                config=self.config,
+                tests=active_tests,
+                seed=self.seed,
+                remote_port=self.remote_port,
+            )
+            for index, shard in enumerate(self.shard_plan())
+        ]
+        outcomes = self._execute(tasks)
+        return self._merge(outcomes, active_tests)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _execute(self, tasks: list[ShardTask]) -> list[ShardOutcome]:
+        if self.executor == EXECUTOR_SERIAL or len(tasks) == 1:
+            return [run_shard(task) for task in tasks]
+        pool_cls = ProcessPoolExecutor if self.executor == EXECUTOR_PROCESS else ThreadPoolExecutor
+        workers = self.max_workers or min(len(tasks), os.cpu_count() or 1)
+        try:
+            with pool_cls(max_workers=workers) as pool:
+                return list(pool.map(run_shard, tasks))
+        except (OSError, PicklingError, BrokenExecutor):
+            # Pool infrastructure failure (no semaphores / fork restrictions /
+            # broken workers) — the shards themselves are pure functions, so
+            # rerunning them inline yields the identical result.
+            return [run_shard(task) for task in tasks]
+
+    def _merge(
+        self, outcomes: Iterable[ShardOutcome], active_tests: tuple[TestName, ...]
+    ) -> CampaignResult:
+        host_order = {address: index for index, address in enumerate(self.host_addresses)}
+        test_order = {test: index for index, test in enumerate(active_tests)}
+        records = [record for outcome in outcomes for record in outcome.records]
+        # Canonical round-robin order: the exact sequence the serial Campaign
+        # visits (round, then host in spec order, then test in cycle order),
+        # so merged output is independent of shard completion order.
+        records.sort(
+            key=lambda record: (
+                record.round_index,
+                host_order[record.host_address],
+                test_order[record.test],
+            )
+        )
+        result = CampaignResult(config=self.config, host_addresses=self.host_addresses)
+        result.extend(records)
+        return result

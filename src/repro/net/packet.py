@@ -10,6 +10,7 @@ byte strings.
 from __future__ import annotations
 
 import enum
+import itertools
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
@@ -185,14 +186,16 @@ class IcmpEcho:
         return ICMP_HEADER_LEN
 
 
-_PACKET_COUNTER = 0
+_PACKET_COUNTER = itertools.count(1)
 
 
 def _next_packet_uid() -> int:
-    """Return a process-wide unique identifier for ground-truth tracking."""
-    global _PACKET_COUNTER
-    _PACKET_COUNTER += 1
-    return _PACKET_COUNTER
+    """Return a process-wide unique identifier for ground-truth tracking.
+
+    Uses :func:`itertools.count`, whose ``__next__`` is atomic under CPython,
+    so uids stay unique even when shard campaigns run on concurrent threads.
+    """
+    return next(_PACKET_COUNTER)
 
 
 @dataclass(slots=True)

@@ -43,10 +43,30 @@ class SeededRandom:
         derivation is identical across processes and Python invocations.
         """
         self._fork_counter += 1
-        material = f"{self._seed}/{self._fork_counter}/{label}".encode()
-        digest = hashlib.blake2b(material, digest_size=8).digest()
-        child_seed = int.from_bytes(digest, "big") & 0x7FFFFFFFFFFFFFFF
-        return SeededRandom(child_seed)
+        return self._child(f"{self._seed}/{self._fork_counter}/{label}")
+
+    def derive(self, label: str) -> "SeededRandom":
+        """Return a generator derived from this seed and ``label`` alone.
+
+        Unlike :meth:`fork`, the derivation is stateless: it does not consume
+        the fork counter, and the child stream depends only on the parent
+        *seed* and the label — not on how many forks happened before.  This is
+        what lets a sharded campaign rebuild any subset of a testbed and hand
+        each site exactly the stream it would have received in the full build
+        (see :mod:`repro.core.runner`).  The label namespace is kept disjoint
+        from :meth:`fork`'s counter-based material.
+        """
+        return self._child(f"{self._seed}::derive::{label}")
+
+    @staticmethod
+    def _child(material: str) -> "SeededRandom":
+        """Derive a child generator from seed material (shared by fork/derive).
+
+        A cryptographic digest (rather than ``hash``) keeps the derivation
+        identical across processes and Python invocations.
+        """
+        digest = hashlib.blake2b(material.encode(), digest_size=8).digest()
+        return SeededRandom(int.from_bytes(digest, "big") & 0x7FFFFFFFFFFFFFFF)
 
     def uniform(self, low: float, high: float) -> float:
         """Return a float uniformly distributed in ``[low, high]``."""

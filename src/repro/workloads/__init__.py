@@ -13,7 +13,13 @@ The paper's experiments need three kinds of environment:
 This package builds all three from declarative specs.
 """
 
-from repro.workloads.population import PopulationSpec, generate_population
+from repro.workloads.population import (
+    PopulationSpec,
+    address_block,
+    generate_population,
+    generate_population_shards,
+    partition_specs,
+)
 from repro.workloads.testbed import HostSpec, PathSpec, StripingSpec, Testbed, build_testbed
 from repro.workloads.validation import (
     ValidationCell,
@@ -33,9 +39,12 @@ __all__ = [
     "ValidationCell",
     "ValidationRunResult",
     "ValidationSummary",
+    "address_block",
     "build_testbed",
     "generate_population",
+    "generate_population_shards",
     "paper_rate_grid",
+    "partition_specs",
     "run_validation_cell",
     "run_validation_sweep",
 ]

@@ -91,9 +91,15 @@ class SiteHandle:
 class Testbed:
     """A fully wired simulation environment ready for measurements."""
 
-    def __init__(self, seed: int = 1) -> None:
+    def __init__(self, seed: int = 1, stable_site_seeds: bool = False) -> None:
         self.sim = Simulator()
         self.rng = SeededRandom(seed)
+        self.stable_site_seeds = stable_site_seeds
+        """When True, each site's random stream is derived from (seed, site
+        name) alone rather than from insertion order, so a testbed containing
+        any subset of a spec list gives each site the same stream as the full
+        build.  The sharded campaign runner relies on this to keep per-shard
+        rebuilds byte-for-byte reproducible."""
         self.topology = Topology(self.sim)
         self.probe = ProbeHost(self.sim, PROBE_ADDRESS)
         self.topology.attach_probe(self.probe)
@@ -119,7 +125,10 @@ class Testbed:
         """Deploy a site from its spec: build hosts, middleboxes, and the path."""
         if spec.name in self.sites:
             raise TopologyError(f"duplicate site name: {spec.name}")
-        site_rng = self.rng.fork(f"site:{spec.name}")
+        if self.stable_site_seeds:
+            site_rng = self.rng.derive(f"site:{spec.name}")
+        else:
+            site_rng = self.rng.fork(f"site:{spec.name}")
 
         forward_elements, reverse_elements, forward_trace, reverse_trace = self._build_path(
             spec, site_rng
@@ -218,9 +227,17 @@ class Testbed:
         )
 
 
-def build_testbed(specs: list[HostSpec], seed: int = 1) -> Testbed:
-    """Build a testbed containing every site in ``specs``."""
-    testbed = Testbed(seed=seed)
+def build_testbed(
+    specs: list[HostSpec], seed: int = 1, stable_site_seeds: bool = False
+) -> Testbed:
+    """Build a testbed containing every site in ``specs``.
+
+    With ``stable_site_seeds=True`` the per-site random streams depend only on
+    ``seed`` and each site's name, so building a testbed from any subset of
+    ``specs`` reproduces the same sites the full build would contain — the
+    property the sharded :class:`repro.core.runner.CampaignRunner` needs.
+    """
+    testbed = Testbed(seed=seed, stable_site_seeds=stable_site_seeds)
     for spec in specs:
         testbed.add_site(spec)
     return testbed

@@ -1,0 +1,85 @@
+"""Documentation checks: code snippets must run, module references must exist.
+
+Every fenced ``python`` block in ``README.md`` and ``docs/architecture.md``
+is executed, and every ``repro.*`` dotted module path mentioned anywhere in
+the documents must resolve to a real module — so the docs cannot drift from
+the code without failing CI.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS = [REPO_ROOT / "README.md", REPO_ROOT / "docs" / "architecture.md"]
+
+_FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+_MODULE_REF = re.compile(r"\brepro(?:\.[a-z_][a-z0-9_]*)+")
+
+
+def _python_blocks() -> list[tuple[str, int, str]]:
+    blocks = []
+    for doc in DOCS:
+        text = doc.read_text()
+        for index, match in enumerate(_FENCE.finditer(text)):
+            blocks.append((doc.name, index, match.group(1)))
+    return blocks
+
+
+def _module_refs() -> set[str]:
+    refs = set()
+    for doc in DOCS:
+        for match in _MODULE_REF.finditer(doc.read_text()):
+            dotted = match.group(0)
+            # Trim trailing attribute names until the prefix is a module;
+            # "repro.core.runner.CampaignRunner" → "repro.core.runner".
+            refs.add(dotted)
+    return refs
+
+
+def test_docs_exist():
+    for doc in DOCS:
+        assert doc.exists(), f"missing documentation file: {doc}"
+    assert _python_blocks(), "expected at least one python snippet in the docs"
+
+
+@pytest.mark.parametrize(
+    "doc,index,source",
+    _python_blocks(),
+    ids=lambda value: value if isinstance(value, str) and value.endswith(".md") else None,
+)
+def test_doc_snippet_executes(doc, index, source):
+    """Each fenced python block must run unmodified against the library."""
+    exec(compile(source, f"{doc}:block{index}", "exec"), {"__name__": f"doc_snippet_{index}"})
+
+
+def test_doc_module_references_resolve():
+    """Every dotted repro.* path in the docs must lead to a real module."""
+    missing = []
+    for dotted in sorted(_module_refs()):
+        parts = dotted.split(".")
+        found = False
+        # A reference may name a module or an attribute of one (class or
+        # function); accept it if any prefix of length >= 2 is importable
+        # and, when attributes remain, the module exposes the next name.
+        for cut in range(len(parts), 1, -1):
+            module_name = ".".join(parts[:cut])
+            try:
+                spec = importlib.util.find_spec(module_name)
+            except ModuleNotFoundError:
+                continue
+            if spec is None:
+                continue
+            if cut == len(parts):
+                found = True
+            else:
+                module = importlib.import_module(module_name)
+                found = hasattr(module, parts[cut])
+            break
+        if not found:
+            missing.append(dotted)
+    assert not missing, f"documentation references unknown modules/attributes: {missing}"
