@@ -1,0 +1,90 @@
+"""E10 — Scenario-sweep throughput: the declarative matrix at scale.
+
+The scenario subsystem turns the one hard-wired survey population into a
+catalogue of named path-condition scenarios; this benchmark runs the full
+scenario × host-OS matrix through the sharded campaign runner twice — once
+with serial shard execution, once with the process pool — and reports sweep
+throughput in measurements per second, plus the per-scenario comparison
+table the analysis layer derives from the sweep.
+
+A fixed matrix layout must be fully reproducible, so the two sweeps are also
+asserted identical cell by cell.
+
+Set ``E10_TINY=1`` (the CI smoke job does) to shrink the matrix and the
+campaign so the benchmark finishes in seconds.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from bench_helpers import run_once
+
+from repro.analysis.scenarios import compare_scenarios
+from repro.core.campaign import CampaignConfig
+from repro.core.prober import TestName
+from repro.core.runner import EXECUTOR_PROCESS, EXECUTOR_SERIAL, result_signature
+from repro.scenarios import MIXED_OS, ScenarioMatrix, run_matrix, scenario_names
+
+TINY = bool(os.environ.get("E10_TINY"))
+
+SEED = 1302
+SHARDS = 2 if TINY else 4
+HOSTS = 3 if TINY else 8
+OS_NAMES = (MIXED_OS,) if TINY else (MIXED_OS, "freebsd-4.4")
+SCENARIOS = scenario_names()[:3] if TINY else scenario_names()
+
+CONFIG = CampaignConfig(
+    rounds=1 if TINY else 2,
+    samples_per_measurement=4 if TINY else 8,
+    tests=(TestName.SINGLE_CONNECTION, TestName.SYN),
+    inter_measurement_gap=0.2,
+    inter_round_gap=1.0,
+)
+
+
+def _sweep(executor: str):
+    matrix = ScenarioMatrix.of(SCENARIOS, OS_NAMES)
+    start = time.perf_counter()
+    outcome = run_matrix(
+        matrix, CONFIG, hosts=HOSTS, seed=SEED, shards=SHARDS, executor=executor
+    )
+    return outcome, time.perf_counter() - start
+
+
+def _run():
+    serial, serial_elapsed = _sweep(EXECUTOR_SERIAL)
+    sharded, sharded_elapsed = _sweep(EXECUTOR_PROCESS)
+    return serial, serial_elapsed, sharded, sharded_elapsed
+
+
+def test_bench_scenario_sweep(benchmark):
+    serial, serial_elapsed, sharded, sharded_elapsed = run_once(benchmark, _run)
+
+    cells = len(serial.runs)
+    measurements = serial.total_measurements()
+    print()
+    print(
+        f"sweep: {len(SCENARIOS)} scenarios x {len(OS_NAMES)} OS columns = "
+        f"{cells} cells, {measurements} measurements"
+        f"{' [tiny]' if TINY else ''}"
+    )
+    print(
+        f"serial shards:  {serial_elapsed:8.3f} s  "
+        f"{measurements / serial_elapsed:8.1f} measurements/s"
+    )
+    print(
+        f"process shards: {sharded_elapsed:8.3f} s  "
+        f"{measurements / sharded_elapsed:8.1f} measurements/s "
+        f"({SHARDS} shards/cell, {os.cpu_count()} cores, "
+        f"speedup x{serial_elapsed / sharded_elapsed:.2f})"
+    )
+    print()
+    print(compare_scenarios(serial.results()).to_table())
+
+    # Executor choice must never change what a fixed matrix layout measured.
+    assert set(sharded.runs) == set(serial.runs)
+    for label, run in serial.runs.items():
+        assert run.result.scenario == label
+        assert result_signature(sharded.runs[label].result) == result_signature(run.result)

@@ -40,6 +40,17 @@ from repro.core import (
     validate_host_ipid,
 )
 from repro.host import OS_PROFILES, OsProfile, ProbeHost, RemoteHost, profile_by_name
+from repro.scenarios import (
+    NetworkScenario,
+    ScenarioMatrix,
+    build_scenario_hosts,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    run_matrix,
+    run_scenario,
+    scenario_names,
+)
 from repro.sim import Simulator
 from repro.workloads import (
     HostSpec,
@@ -67,6 +78,7 @@ __all__ = [
     "IpidClass",
     "IpidValidationReport",
     "MeasurementResult",
+    "NetworkScenario",
     "OS_PROFILES",
     "OsProfile",
     "PathSpec",
@@ -77,6 +89,7 @@ __all__ = [
     "RemoteHost",
     "ReorderSample",
     "SampleOutcome",
+    "ScenarioMatrix",
     "Simulator",
     "SingleConnectionTest",
     "SpacingSweep",
@@ -84,12 +97,19 @@ __all__ = [
     "SynTest",
     "Testbed",
     "TestName",
+    "build_scenario_hosts",
     "build_testbed",
     "generate_population",
     "generate_population_shards",
+    "get_scenario",
+    "list_scenarios",
     "partition_specs",
     "profile_by_name",
     "quick_testbed",
+    "register_scenario",
+    "run_matrix",
+    "run_scenario",
+    "scenario_names",
     "validate_host_ipid",
     "__version__",
 ]

@@ -9,6 +9,15 @@ from repro.analysis.figures import (
     build_fig7_series,
 )
 from repro.analysis.report import format_table
+from repro.analysis.scenarios import (
+    ScenarioComparison,
+    ScenarioSliceSummary,
+    agreement_by_scenario,
+    compare_scenarios,
+    fig5_by_scenario,
+    slice_by_scenario,
+    summarize_scenario_slice,
+)
 from repro.analysis.survey import (
     EligibilitySummary,
     SurveyRun,
@@ -21,13 +30,20 @@ __all__ = [
     "AgreementCell",
     "AgreementMatrix",
     "EligibilitySummary",
+    "ScenarioComparison",
+    "ScenarioSliceSummary",
     "SurveyRun",
+    "agreement_by_scenario",
     "build_fig5_cdf",
     "build_fig6_series",
     "build_fig7_series",
+    "compare_scenarios",
     "compute_agreement",
+    "fig5_by_scenario",
     "format_table",
     "run_sharded_survey",
+    "slice_by_scenario",
     "summarize_eligibility",
+    "summarize_scenario_slice",
     "validation_table",
 ]

@@ -1,0 +1,181 @@
+"""Per-scenario analysis slicing.
+
+A scenario sweep produces one scenario-stamped
+:class:`~repro.core.campaign.CampaignResult` per cell; the helpers here slice
+and compare them: Figure-5-style per-path rate CDFs per scenario
+(:func:`fig5_by_scenario`), pairwise-agreement matrices per scenario
+(:func:`agreement_by_scenario`), and a cross-scenario comparison table
+(:func:`compare_scenarios`) that lines up eligibility, reordering prevalence,
+and per-path rate headline numbers side by side — the "is the methodology
+robust across pathologies" view the paper argues for in §IV-B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional, Protocol, Sequence, Union
+
+from repro.analysis.agreement import AgreementMatrix, compute_agreement
+from repro.analysis.figures import Fig5Data, build_fig5_cdf
+from repro.analysis.report import format_table
+from repro.analysis.survey import EligibilitySummary, summarize_eligibility
+from repro.core.campaign import CampaignResult
+from repro.core.prober import TestName
+from repro.core.sample import Direction
+from repro.net.errors import AnalysisError
+
+class HasCampaignResult(Protocol):
+    """Anything carrying a campaign dataset under ``.result`` (e.g.
+    :class:`~repro.scenarios.matrix.ScenarioRun`)."""
+
+    result: CampaignResult
+
+
+SliceSource = Union[CampaignResult, HasCampaignResult]
+
+
+def slice_by_scenario(items: Iterable[SliceSource]) -> dict[str, CampaignResult]:
+    """Key campaign datasets by their scenario identity.
+
+    Accepts raw :class:`CampaignResult` objects (stamped by the runner) or
+    anything carrying one under a ``result`` attribute (e.g.
+    :class:`~repro.scenarios.matrix.ScenarioRun`), so both a hand-rolled dict
+    of results and a :class:`~repro.scenarios.matrix.MatrixResult`'s runs can
+    feed the comparison helpers.
+    """
+    out: dict[str, CampaignResult] = {}
+    for item in items:
+        result = getattr(item, "result", item)
+        if not isinstance(result, CampaignResult):
+            raise AnalysisError(f"not a campaign result: {result!r}")
+        name = result.scenario or "unnamed"
+        if name in out:
+            raise AnalysisError(f"duplicate scenario slice: {name!r}")
+        out[name] = result
+    return out
+
+
+@dataclass(slots=True)
+class ScenarioSliceSummary:
+    """One scenario's headline numbers within a sweep."""
+
+    scenario: str
+    eligibility: EligibilitySummary
+    fig5: Fig5Data
+    dual_connection_measured: bool = True
+    """False when the campaign never ran the dual-connection test, so the
+    comparison table can show "not measured" instead of claiming every host
+    eligible for a test that produced no records."""
+
+    @property
+    def hosts(self) -> int:
+        return self.eligibility.total_hosts
+
+    @property
+    def mean_path_rate(self) -> Optional[float]:
+        rates = self.fig5.per_path_rates
+        if not rates:
+            return None
+        return sum(rates.values()) / len(rates)
+
+    @property
+    def dual_connection_eligible(self) -> Optional[int]:
+        """Hosts usable by the dual-connection test, or None if it never ran."""
+        if not self.dual_connection_measured:
+            return None
+        return self.eligibility.eligible_hosts(TestName.DUAL_CONNECTION)
+
+
+@dataclass(slots=True)
+class ScenarioComparison:
+    """Side-by-side scenario summaries, in input order."""
+
+    test: TestName
+    direction: Direction
+    slices: list[ScenarioSliceSummary]
+
+    def to_table(self) -> str:
+        """Render the cross-scenario comparison table."""
+        rows = []
+        for item in self.slices:
+            mean_rate = item.mean_path_rate
+            dual_eligible = item.dual_connection_eligible
+            rows.append(
+                [
+                    item.scenario,
+                    item.hosts,
+                    item.eligibility.measurements_total,
+                    f"{item.eligibility.fraction_measurements_with_reordering:.1%}",
+                    f"{item.fig5.fraction_with_reordering:.1%}",
+                    "-" if mean_rate is None else f"{mean_rate:.4f}",
+                    "-" if dual_eligible is None else dual_eligible,
+                ]
+            )
+        return format_table(
+            headers=[
+                "scenario",
+                "hosts",
+                "measurements",
+                "reordered meas.",
+                "paths reordering",
+                "mean path rate",
+                "dual-conn eligible",
+            ],
+            rows=rows,
+            title=f"Scenario comparison ({self.test.value}, {self.direction.value})",
+        )
+
+
+def summarize_scenario_slice(
+    name: str,
+    result: CampaignResult,
+    test: TestName = TestName.SINGLE_CONNECTION,
+    direction: Direction = Direction.FORWARD,
+) -> ScenarioSliceSummary:
+    """Summarise one scenario's dataset (eligibility + Figure-5 view)."""
+    return ScenarioSliceSummary(
+        scenario=name,
+        eligibility=summarize_eligibility(result),
+        fig5=build_fig5_cdf(result, test=test, direction=direction),
+        dual_connection_measured=bool(result.records_for(test=TestName.DUAL_CONNECTION)),
+    )
+
+
+def compare_scenarios(
+    results: Union[Mapping[str, CampaignResult], Iterable[SliceSource]],
+    test: TestName = TestName.SINGLE_CONNECTION,
+    direction: Direction = Direction.FORWARD,
+) -> ScenarioComparison:
+    """Build the cross-scenario comparison over a sweep's datasets."""
+    if not isinstance(results, Mapping):
+        results = slice_by_scenario(results)
+    slices = [
+        summarize_scenario_slice(name, result, test=test, direction=direction)
+        for name, result in results.items()
+    ]
+    return ScenarioComparison(test=test, direction=direction, slices=slices)
+
+
+def fig5_by_scenario(
+    results: Mapping[str, CampaignResult],
+    test: TestName = TestName.SINGLE_CONNECTION,
+    direction: Direction = Direction.FORWARD,
+) -> dict[str, Fig5Data]:
+    """One Figure-5 per-path rate CDF per scenario."""
+    return {
+        name: build_fig5_cdf(result, test=test, direction=direction)
+        for name, result in results.items()
+    }
+
+
+def agreement_by_scenario(
+    results: Mapping[str, CampaignResult],
+    pairs: Optional[Sequence[tuple[TestName, TestName]]] = None,
+    directions: Sequence[Direction] = (Direction.FORWARD, Direction.REVERSE),
+    min_pairs: int = 3,
+) -> dict[str, AgreementMatrix]:
+    """One pairwise-agreement matrix per scenario."""
+    return {
+        name: compute_agreement(result, pairs=pairs, directions=directions, min_pairs=min_pairs)
+        for name, result in results.items()
+    }

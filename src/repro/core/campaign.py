@@ -55,6 +55,10 @@ class HostRoundResult:
     test: TestName
     time: float
     report: ProbeReport
+    scenario: Optional[str] = None
+    """Name of the scenario this measurement ran under, if any.  Stamped by
+    the campaign so records stay self-describing after shard merges and
+    cross-scenario analysis slicing."""
 
 
 @dataclass(slots=True)
@@ -72,6 +76,9 @@ class CampaignResult:
     config: CampaignConfig
     host_addresses: tuple[int, ...]
     records: list[HostRoundResult] = field(default_factory=list)
+    scenario: Optional[str] = None
+    """Scenario identity of the whole dataset (None for ad-hoc campaigns)."""
+
     _buckets: dict[tuple[int, TestName], list[HostRoundResult]] = field(
         default_factory=dict, init=False, repr=False, compare=False
     )
@@ -182,12 +189,14 @@ class Campaign:
         host_addresses: Sequence[int],
         config: Optional[CampaignConfig] = None,
         remote_port: int = 80,
+        scenario: Optional[str] = None,
     ) -> None:
         if not host_addresses:
             raise MeasurementError("campaign requires at least one host")
         self.probe = probe
         self.host_addresses = tuple(host_addresses)
         self.config = config or CampaignConfig()
+        self.scenario = scenario
         self.prober = Prober(
             probe,
             remote_port=remote_port,
@@ -197,7 +206,9 @@ class Campaign:
     def run(self, tests: Optional[Iterable[TestName]] = None) -> CampaignResult:
         """Execute the campaign and return the full record set."""
         active_tests = tuple(tests) if tests is not None else self.config.tests
-        result = CampaignResult(config=self.config, host_addresses=self.host_addresses)
+        result = CampaignResult(
+            config=self.config, host_addresses=self.host_addresses, scenario=self.scenario
+        )
         for round_index in range(self.config.rounds):
             for address in self.host_addresses:
                 for test in active_tests:
@@ -210,6 +221,7 @@ class Campaign:
                             test=test,
                             time=now,
                             report=report,
+                            scenario=self.scenario,
                         )
                     )
                     if self.config.inter_measurement_gap > 0.0:

@@ -53,15 +53,9 @@ class ProbeReport:
     """True when the host failed a precondition (e.g. IPID validation).
 
     Set explicitly where :class:`~repro.net.errors.HostNotEligibleError` is
-    caught, replacing the old property that pattern-matched the error string.
-    ``report.ineligible`` reads the same as before, and reports constructed
-    with only a ``"not eligible: ..."`` error string are still flagged (see
-    ``__post_init__``) for back-compat.
+    caught.  The flag is authoritative — the error string is free-form text
+    and is never pattern-matched.
     """
-
-    def __post_init__(self) -> None:
-        if not self.ineligible and self.error is not None and "not eligible" in self.error:
-            self.ineligible = True
 
     @property
     def succeeded(self) -> bool:

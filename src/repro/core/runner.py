@@ -70,6 +70,10 @@ class ShardTask:
     tests: Optional[tuple[TestName, ...]]
     seed: int
     remote_port: int
+    scenario: Optional[str] = None
+    """Scenario identity the shard's records are stamped with, so a sweep's
+    merged datasets stay self-describing no matter which worker produced
+    them."""
 
 
 @dataclass(slots=True)
@@ -86,8 +90,8 @@ def record_signature(record: HostRoundResult) -> tuple:
 
     Two campaign runs measured the same thing exactly when their records have
     equal signatures.  The signature keeps everything the analysis layer
-    consumes — round, host, test, error text, eligibility, and every sample's
-    per-direction outcome and spacing — and drops the two things that are
+    consumes — round, host, test, scenario identity, error text, eligibility,
+    and every sample's per-direction outcome and spacing — and drops the two things that are
     artifacts of *where* the record was produced: simulated timestamps (each
     shard's clock starts at zero) and packet uids (a process-wide counter,
     never an on-the-wire field).
@@ -103,6 +107,7 @@ def record_signature(record: HostRoundResult) -> tuple:
         record.round_index,
         record.host_address,
         record.test.value,
+        record.scenario or "",
         report.error or "",
         report.ineligible,
         samples,
@@ -122,7 +127,11 @@ def run_shard(task: ShardTask) -> ShardOutcome:
     """
     testbed = build_testbed(list(task.specs), seed=task.seed, stable_site_seeds=True)
     campaign = Campaign(
-        testbed.probe, testbed.addresses(), task.config, remote_port=task.remote_port
+        testbed.probe,
+        testbed.addresses(),
+        task.config,
+        remote_port=task.remote_port,
+        scenario=task.scenario,
     )
     result = campaign.run(task.tests)
     return ShardOutcome(
@@ -158,6 +167,10 @@ class CampaignRunner:
         ``"serial"`` to run shards inline.  If a pool cannot be created or
         breaks (sandboxes without semaphores, unpicklable platform quirks),
         the runner falls back to serial execution of the same shard tasks.
+    scenario:
+        Optional scenario name stamped on every record and on the merged
+        result, so sweep datasets remain self-describing (the scenario layer
+        in :mod:`repro.scenarios` sets this automatically).
     """
 
     def __init__(
@@ -170,6 +183,7 @@ class CampaignRunner:
         shards: int = 1,
         executor: str = EXECUTOR_PROCESS,
         max_workers: Optional[int] = None,
+        scenario: Optional[str] = None,
     ) -> None:
         if not specs:
             raise MeasurementError("campaign runner requires at least one host spec")
@@ -186,6 +200,7 @@ class CampaignRunner:
         self.shards = shards
         self.executor = executor
         self.max_workers = max_workers
+        self.scenario = scenario
 
     @property
     def host_addresses(self) -> tuple[int, ...]:
@@ -207,6 +222,7 @@ class CampaignRunner:
                 tests=active_tests,
                 seed=self.seed,
                 remote_port=self.remote_port,
+                scenario=self.scenario,
             )
             for index, shard in enumerate(self.shard_plan())
         ]
@@ -247,6 +263,8 @@ class CampaignRunner:
                 test_order[record.test],
             )
         )
-        result = CampaignResult(config=self.config, host_addresses=self.host_addresses)
+        result = CampaignResult(
+            config=self.config, host_addresses=self.host_addresses, scenario=self.scenario
+        )
         result.extend(records)
         return result

@@ -1,0 +1,198 @@
+"""Scenario execution and scenario × host-OS sweep matrices.
+
+:func:`run_scenario` is the one-call path from a scenario name (or spec) to a
+merged, scenario-stamped :class:`~repro.core.campaign.CampaignResult` via the
+sharded :class:`~repro.core.runner.CampaignRunner`.  :class:`ScenarioMatrix`
+crosses scenarios with host operating systems and :func:`run_matrix` fans the
+whole grid out through the runner, deriving every cell's seed stably from
+``(base seed, scenario name, OS name)`` so a sweep is reproducible cell by
+cell regardless of execution order or shard count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence, Union
+
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.population import build_scenario_hosts
+from repro.scenarios.spec import NetworkScenario
+from repro.sim.random import SeededRandom
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.core.campaign import CampaignConfig, CampaignResult
+    from repro.core.prober import TestName
+
+EXECUTOR_PROCESS = "process"
+"""Default executor name, mirrored from :mod:`repro.core.runner`.
+
+The runner itself is imported lazily inside :func:`run_scenario`: ``core``
+sits *above* ``scenarios`` in the layering (``core.runner`` consumes
+scenario-built populations), so a module-level import here would be a cycle.
+"""
+
+ScenarioLike = Union[str, NetworkScenario]
+
+MIXED_OS = "mixed"
+"""Placeholder OS label for a matrix column using each scenario's own mix."""
+
+
+def resolve_scenario(scenario: ScenarioLike) -> NetworkScenario:
+    """Accept a scenario spec or a registered name."""
+    if isinstance(scenario, NetworkScenario):
+        return scenario
+    return get_scenario(scenario)
+
+
+def derive_cell_seed(seed: int, scenario_name: str, os_name: str = MIXED_OS) -> int:
+    """A stable per-cell seed: a pure function of the base seed and cell key.
+
+    Delegates to :meth:`SeededRandom.derive`, whose cryptographic digest
+    keeps the derivation identical across processes and Python invocations.
+    """
+    return SeededRandom(seed).derive(f"scenario::{scenario_name}::os::{os_name}").seed
+
+
+@dataclass(slots=True)
+class ScenarioRun:
+    """One executed scenario: its spec, the seed used, and the records."""
+
+    scenario: NetworkScenario
+    seed: int
+    result: "CampaignResult"
+
+
+def run_scenario(
+    scenario: ScenarioLike,
+    config: Optional["CampaignConfig"] = None,
+    *,
+    hosts: Optional[int] = None,
+    seed: int = 7,
+    shards: int = 1,
+    executor: str = EXECUTOR_PROCESS,
+    max_workers: Optional[int] = None,
+    tests: Optional[Iterable["TestName"]] = None,
+    scenario_label: Optional[str] = None,
+) -> ScenarioRun:
+    """Build a scenario's population and run it through the sharded runner.
+
+    The returned records are stamped with the scenario's name (or
+    ``scenario_label``), and the dataset is a pure function of
+    ``(scenario, config, hosts, seed, tests, shards)`` — executor choice and
+    worker count never change it (see :mod:`repro.core.runner`).
+    """
+    from repro.core.runner import CampaignRunner
+
+    spec = resolve_scenario(scenario)
+    if hosts is not None:
+        spec = spec.with_population(num_hosts=hosts)
+    host_specs = build_scenario_hosts(spec, seed=seed)
+    runner = CampaignRunner(
+        host_specs,
+        config,
+        seed=seed,
+        shards=shards,
+        executor=executor,
+        max_workers=max_workers,
+        scenario=scenario_label or spec.name,
+    )
+    return ScenarioRun(scenario=spec, seed=seed, result=runner.run(tests))
+
+
+@dataclass(frozen=True, slots=True)
+class MatrixCell:
+    """One (scenario, OS) combination of a sweep."""
+
+    scenario: NetworkScenario
+    os_name: str = MIXED_OS
+
+    @property
+    def label(self) -> str:
+        return f"{self.scenario.name}/{self.os_name}"
+
+    def materialized_scenario(self) -> NetworkScenario:
+        if self.os_name == MIXED_OS:
+            return self.scenario
+        return self.scenario.with_os(self.os_name)
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioMatrix:
+    """A sweep grid: scenarios × host operating systems.
+
+    ``os_names`` may include :data:`MIXED_OS` to keep a column with each
+    scenario's own OS mix alongside homogeneous-OS columns.
+    """
+
+    scenarios: tuple[NetworkScenario, ...]
+    os_names: tuple[str, ...] = (MIXED_OS,)
+
+    @classmethod
+    def of(
+        cls,
+        scenarios: Sequence[ScenarioLike],
+        os_names: Sequence[str] = (MIXED_OS,),
+    ) -> "ScenarioMatrix":
+        """Build a matrix from scenario names/specs and OS profile names."""
+        return cls(
+            scenarios=tuple(resolve_scenario(s) for s in scenarios),
+            os_names=tuple(os_names),
+        )
+
+    def cells(self) -> list[MatrixCell]:
+        """All cells in row-major (scenario-major) order."""
+        return [
+            MatrixCell(scenario=scenario, os_name=os_name)
+            for scenario in self.scenarios
+            for os_name in self.os_names
+        ]
+
+    def __len__(self) -> int:
+        return len(self.scenarios) * len(self.os_names)
+
+
+@dataclass(slots=True)
+class MatrixResult:
+    """Every cell's run, keyed by its ``scenario/os`` label."""
+
+    runs: dict[str, ScenarioRun]
+
+    def results(self) -> dict[str, CampaignResult]:
+        """The per-cell campaign datasets (the shape analysis slicing takes)."""
+        return {label: run.result for label, run in self.runs.items()}
+
+    def total_measurements(self) -> int:
+        return sum(len(run.result.records) for run in self.runs.values())
+
+
+def run_matrix(
+    matrix: ScenarioMatrix,
+    config: Optional[CampaignConfig] = None,
+    *,
+    hosts: Optional[int] = None,
+    seed: int = 7,
+    shards: int = 1,
+    executor: str = EXECUTOR_PROCESS,
+    max_workers: Optional[int] = None,
+    tests: Optional[Iterable[TestName]] = None,
+) -> MatrixResult:
+    """Run every cell of the matrix through the sharded campaign runner.
+
+    Each cell's seed is :func:`derive_cell_seed` of the base seed and the
+    cell key, so adding or removing cells never changes the other cells'
+    datasets.
+    """
+    runs: dict[str, ScenarioRun] = {}
+    for cell in matrix.cells():
+        runs[cell.label] = run_scenario(
+            cell.materialized_scenario(),
+            config,
+            hosts=hosts,
+            seed=derive_cell_seed(seed, cell.scenario.name, cell.os_name),
+            shards=shards,
+            executor=executor,
+            max_workers=max_workers,
+            tests=tests,
+            scenario_label=cell.label,
+        )
+    return MatrixResult(runs=runs)

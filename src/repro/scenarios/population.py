@@ -1,0 +1,166 @@
+"""Materialising scenario populations into host specs.
+
+:func:`build_scenario_hosts` turns a :class:`~repro.scenarios.spec.NetworkScenario`
+plus a seed into the concrete :class:`~repro.workloads.testbed.HostSpec` list a
+testbed or campaign consumes.  The per-host draw sequence (OS profile, load
+balancing, ICMP filtering, object size, static path process) is the original
+§IV-B population generator, moved here verbatim so that the ``imc2002-survey``
+scenario reproduces the historical ``generate_population`` output bit for
+bit.  Scenario condition templates draw from a *forked* per-host stream after
+all legacy draws, so adding conditions to a scenario never perturbs the
+static part of the population.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.host.os_profiles import (
+    FREEBSD_44,
+    LEGACY_DELAYED_ACK,
+    LINUX_22,
+    LINUX_24,
+    OPENBSD_30,
+    SOLARIS_8,
+    SPEC_STRICT,
+    WINDOWS_2000,
+    OsProfile,
+    profile_by_name,
+)
+from repro.net.errors import SimulationError
+from repro.net.flow import parse_address
+from repro.scenarios.spec import FORWARD, NetworkScenario, PopulationSpec
+from repro.sim.random import SeededRandom
+from repro.workloads.testbed import HostSpec, PathSpec, StripingSpec
+
+_BASE_ADDRESS = parse_address("172.16.0.10")
+
+DEFAULT_OS_MIX: tuple[tuple[OsProfile, float], ...] = (
+    (FREEBSD_44, 0.22),
+    (WINDOWS_2000, 0.24),
+    (LINUX_22, 0.16),
+    (LINUX_24, 0.18),
+    (OPENBSD_30, 0.06),
+    (SOLARIS_8, 0.06),
+    (SPEC_STRICT, 0.04),
+    (LEGACY_DELAYED_ACK, 0.04),
+)
+"""The paper's §IV-B operating-system mix (used when a population does not
+override ``os_mix``)."""
+
+
+def _resolve_os_mix(
+    spec: PopulationSpec,
+) -> tuple[tuple[tuple[OsProfile, float], ...], float]:
+    """Return the effective ``(mix, total weight)`` for a population.
+
+    The default mix's weights sum to 1, and its total is pinned to exactly
+    ``1.0`` so :func:`_pick_profile` consumes the raw uniform draw unscaled —
+    the historical draw-to-profile mapping, bit for bit.  Override mixes may
+    use arbitrary weights; their draw is scaled by the real total.
+    """
+    if spec.os_mix is None:
+        return DEFAULT_OS_MIX, 1.0
+    if not spec.os_mix:
+        raise SimulationError("os_mix override cannot be empty")
+    mix = tuple((profile_by_name(name), weight) for name, weight in spec.os_mix)
+    return mix, sum(weight for _profile, weight in mix)
+
+
+def _pick_profile(
+    rng: SeededRandom, mix: tuple[tuple[OsProfile, float], ...], total: float
+) -> OsProfile:
+    draw = rng.random() * total
+    cumulative = 0.0
+    for profile, weight in mix:
+        cumulative += weight
+        if draw < cumulative:
+            return profile
+    return mix[-1][0]
+
+
+def _build_path(spec: PopulationSpec, rng: SeededRandom) -> PathSpec:
+    delay = rng.uniform(0.004, 0.060)
+    reordering = rng.random() < spec.reordering_path_fraction
+    heavy = reordering and rng.random() < (
+        spec.heavy_reordering_fraction / spec.reordering_path_fraction
+    )
+
+    forward_swap = 0.0
+    reverse_swap = 0.0
+    forward_striping = None
+    reverse_striping = None
+    if reordering:
+        intensity = rng.exponential(spec.mean_swap_probability)
+        intensity = min(intensity, 0.35)
+        forward_swap = intensity
+        reverse_swap = intensity / spec.forward_bias
+        if heavy:
+            forward_striping = StripingSpec(queue_imbalance_scale=rng.uniform(20e-6, 60e-6))
+    return PathSpec(
+        forward_swap_probability=forward_swap,
+        reverse_swap_probability=reverse_swap,
+        forward_loss=spec.loss_probability,
+        reverse_loss=spec.loss_probability,
+        propagation_delay=delay,
+        forward_striping=forward_striping,
+        reverse_striping=reverse_striping,
+    )
+
+
+def _apply_conditions(
+    scenario: NetworkScenario, path: PathSpec, rng: SeededRandom
+) -> PathSpec:
+    forward = list(path.forward_conditions)
+    reverse = list(path.reverse_conditions)
+    for index, template in enumerate(scenario.conditions):
+        if rng.random() >= template.fraction:
+            continue
+        for direction in template.directions:
+            prefix = "fwd" if direction == FORWARD else "rev"
+            element = template.materialize(rng, stream=f"{prefix}-cond{index}")
+            (forward if direction == FORWARD else reverse).append(element)
+    return dataclasses.replace(
+        path, forward_conditions=tuple(forward), reverse_conditions=tuple(reverse)
+    )
+
+
+def build_scenario_hosts(scenario: NetworkScenario, seed: int = 7) -> list[HostSpec]:
+    """Generate the host population a scenario describes, deterministically.
+
+    The result is a pure function of ``(scenario, seed)``.  For a scenario
+    without condition templates this is exactly the historical
+    ``generate_population`` draw sequence.
+    """
+    spec = scenario.population
+    if spec.num_hosts < 1:
+        raise SimulationError(f"population needs at least one host: {spec.num_hosts}")
+    mix, mix_total = _resolve_os_mix(spec)
+    rng = SeededRandom(seed)
+    hosts: list[HostSpec] = []
+    for index in range(spec.num_hosts):
+        host_rng = rng.fork(f"host:{index}")
+        profile = _pick_profile(host_rng, mix, mix_total)
+        behind_lb = host_rng.random() < spec.load_balanced_fraction
+        icmp_enabled = host_rng.random() >= spec.icmp_filtered_fraction
+        if host_rng.random() < spec.redirect_fraction:
+            object_size = 200
+        else:
+            object_size = host_rng.randint(8, 64) * 1024
+        path = _build_path(spec, host_rng)
+        if scenario.conditions:
+            # A fork consumes no draws from host_rng's own stream, so the
+            # condition layer leaves every legacy draw below untouched.
+            path = _apply_conditions(scenario, path, host_rng.fork("conditions"))
+        hosts.append(
+            HostSpec(
+                name=f"host-{index:03d}",
+                address=_BASE_ADDRESS + index,
+                profile=profile,
+                path=path,
+                web_object_size=object_size,
+                icmp_enabled=icmp_enabled,
+                load_balancer_backends=host_rng.randint(2, 4) if behind_lb else 0,
+            )
+        )
+    return hosts

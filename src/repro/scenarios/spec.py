@@ -1,0 +1,206 @@
+"""Declarative network scenarios.
+
+A :class:`NetworkScenario` is a named, seedable, composable description of
+the conditions a survey population lives under: how many hosts, which OS mix,
+how much of the population sits behind load balancers or filters ICMP, what
+the static per-path reordering/loss processes look like
+(:class:`PopulationSpec`), and which *time-varying* condition processes are
+layered on top (:class:`ConditionTemplate` subclasses — bursty Gilbert–Elliott
+loss episodes, route-flap reordering spikes, diurnal congestion).
+
+Scenarios are pure data: two scenarios with equal fields generate identical
+host populations for a given seed, no matter where or how often they are
+built.  Composition happens through :meth:`NetworkScenario.with_population`,
+:meth:`NetworkScenario.with_conditions`, and
+:meth:`NetworkScenario.with_os` — each returns a new scenario, so named
+registry entries stay immutable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.errors import SimulationError
+from repro.sim.build import (
+    DiurnalJitterSpec,
+    ElementSpec,
+    GilbertLossSpec,
+    RouteFlapSpec,
+)
+from repro.sim.random import SeededRandom
+
+FORWARD = "forward"
+REVERSE = "reverse"
+_DIRECTIONS = (FORWARD, REVERSE)
+
+
+@dataclass(frozen=True, slots=True)
+class PopulationSpec:
+    """Parameters controlling a synthetic host population."""
+
+    num_hosts: int = 50
+    load_balanced_fraction: float = 0.16
+    """Fraction of sites behind a transparent load balancer (8/50 in the paper)."""
+
+    reordering_path_fraction: float = 0.45
+    """Fraction of paths with a non-negligible reordering process (>40 % of
+    paths showed some reordering over the paper's campaign)."""
+
+    heavy_reordering_fraction: float = 0.10
+    """Fraction of paths with strong, striping-induced reordering."""
+
+    forward_bias: float = 2.0
+    """Ratio of forward to reverse reordering intensity (the paper observed
+    more forward-path than reverse-path reordering from its vantage point)."""
+
+    icmp_filtered_fraction: float = 0.15
+    mean_swap_probability: float = 0.04
+    loss_probability: float = 0.002
+    redirect_fraction: float = 0.08
+    """Fraction of sites whose root object fits in one packet (HTTP redirects)."""
+
+    os_mix: Optional[tuple[tuple[str, float], ...]] = None
+    """Optional ``(profile name, weight)`` override of the default OS mix.
+    ``None`` keeps the paper's §IV-B mix.  Names resolve through
+    :func:`repro.host.os_profiles.profile_by_name`."""
+
+
+@dataclass(frozen=True, slots=True)
+class ConditionTemplate(ABC):
+    """A per-host generator of one extra (usually time-varying) path element.
+
+    A template describes a *distribution* of conditions: when a scenario is
+    materialised, each affected host draws its concrete element parameters
+    from its own random stream, so paths vary within a scenario but the whole
+    population remains a pure function of ``(scenario, seed)``.
+    """
+
+    fraction: float = 1.0
+    """Fraction of hosts the condition applies to."""
+
+    directions: tuple[str, ...] = (FORWARD,)
+    """Which path directions receive the element (``"forward"``/``"reverse"``)."""
+
+    def validate(self) -> None:
+        if not 0.0 <= self.fraction <= 1.0:
+            raise SimulationError(f"condition fraction out of range: {self.fraction}")
+        for direction in self.directions:
+            if direction not in _DIRECTIONS:
+                raise SimulationError(f"unknown path direction: {direction!r}")
+
+    @staticmethod
+    def _draw(rng: SeededRandom, bounds: tuple[float, float]) -> float:
+        low, high = bounds
+        if low > high:
+            raise SimulationError(f"invalid parameter range: {bounds}")
+        if low == high:
+            return low
+        return rng.uniform(low, high)
+
+    @abstractmethod
+    def materialize(self, rng: SeededRandom, stream: str) -> ElementSpec:
+        """Draw one host's concrete element spec from ``rng``."""
+
+
+@dataclass(frozen=True, slots=True)
+class BurstyLossCondition(ConditionTemplate):
+    """Gilbert–Elliott on/off loss: long quiet stretches, dense loss episodes."""
+
+    good_loss: float = 0.0
+    bad_loss: tuple[float, float] = (0.2, 0.5)
+    p_good_to_bad: tuple[float, float] = (0.002, 0.012)
+    p_bad_to_good: tuple[float, float] = (0.1, 0.3)
+
+    def materialize(self, rng: SeededRandom, stream: str) -> ElementSpec:
+        return GilbertLossSpec(
+            good_loss=self.good_loss,
+            bad_loss=self._draw(rng, self.bad_loss),
+            p_good_to_bad=self._draw(rng, self.p_good_to_bad),
+            p_bad_to_good=self._draw(rng, self.p_bad_to_good),
+            stream=stream,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class RouteFlapCondition(ConditionTemplate):
+    """Reordering spikes during randomly timed route-flap episodes."""
+
+    base_swap_probability: tuple[float, float] = (0.0, 0.02)
+    flap_swap_probability: tuple[float, float] = (0.2, 0.45)
+    mean_quiet_interval: tuple[float, float] = (15.0, 60.0)
+    mean_flap_duration: tuple[float, float] = (1.0, 5.0)
+
+    def materialize(self, rng: SeededRandom, stream: str) -> ElementSpec:
+        return RouteFlapSpec(
+            base_swap_probability=self._draw(rng, self.base_swap_probability),
+            flap_swap_probability=self._draw(rng, self.flap_swap_probability),
+            mean_quiet_interval=self._draw(rng, self.mean_quiet_interval),
+            mean_flap_duration=self._draw(rng, self.mean_flap_duration),
+            stream=stream,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class DiurnalCongestionCondition(ConditionTemplate):
+    """Queue-contention jitter following a compressed daily cycle.
+
+    Survey campaigns cover minutes of simulated time, so the default period
+    compresses a "day" far below 86 400 s to keep peak and trough both
+    observable within one campaign.
+    """
+
+    peak_jitter: tuple[float, float] = (0.5e-3, 3e-3)
+    period: tuple[float, float] = (120.0, 360.0)
+    random_phase: bool = True
+
+    def materialize(self, rng: SeededRandom, stream: str) -> ElementSpec:
+        period = self._draw(rng, self.period)
+        phase = rng.uniform(0.0, period) if self.random_phase else 0.0
+        return DiurnalJitterSpec(
+            peak_jitter=self._draw(rng, self.peak_jitter),
+            period=period,
+            phase=phase,
+            stream=stream,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkScenario:
+    """A named, seedable, composable description of survey path conditions."""
+
+    name: str
+    description: str = ""
+    population: PopulationSpec = PopulationSpec()
+    conditions: tuple[ConditionTemplate, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SimulationError("scenario needs a non-empty name")
+        for condition in self.conditions:
+            condition.validate()
+
+    def with_population(self, **overrides) -> "NetworkScenario":
+        """Return a copy whose population parameters are selectively replaced."""
+        population = dataclasses.replace(self.population, **overrides)
+        return dataclasses.replace(self, population=population)
+
+    def with_conditions(self, *conditions: ConditionTemplate) -> "NetworkScenario":
+        """Return a copy with extra condition templates appended."""
+        return dataclasses.replace(self, conditions=self.conditions + tuple(conditions))
+
+    def with_os(self, profile_name: str, weight: float = 1.0) -> "NetworkScenario":
+        """Return a copy whose whole population runs one OS profile.
+
+        This is the host-OS axis of a :class:`~repro.scenarios.matrix.ScenarioMatrix`
+        sweep: the same path conditions crossed with a homogeneous stack.
+        """
+        return self.with_population(os_mix=((profile_name, weight),))
+
+    def renamed(self, name: str, description: Optional[str] = None) -> "NetworkScenario":
+        """Return a copy under a new name (e.g. before registering a variant)."""
+        return dataclasses.replace(
+            self, name=name, description=self.description if description is None else description
+        )

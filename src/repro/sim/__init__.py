@@ -8,6 +8,20 @@ that reproduces the gap-dependent reordering of Figure 7), middleboxes, and
 trace capture for ground truth.
 """
 
+from repro.sim.build import (
+    DiurnalJitterSpec,
+    ElementSpec,
+    GilbertLossSpec,
+    JitterSpec,
+    LinkSpec,
+    LossSpec,
+    RouteFlapSpec,
+    StripeSpec,
+    SwapSpec,
+    TraceSpec,
+    build_elements,
+    build_pipeline,
+)
 from repro.sim.clock import SimClock
 from repro.sim.events import Event, EventQueue
 from repro.sim.link import Link
@@ -23,27 +37,47 @@ from repro.sim.reorder import (
 )
 from repro.sim.simulator import Simulator
 from repro.sim.striping import StripedPathModel
+from repro.sim.timevary import (
+    DiurnalCongestionElement,
+    GilbertElliottLossElement,
+    RouteFlapReorderer,
+)
 from repro.sim.topology import Topology
 from repro.sim.trace import TraceCapture, TraceRecord
 
 __all__ = [
     "AdjacentSwapReorderer",
     "DelayJitterReorderer",
+    "DiurnalCongestionElement",
+    "DiurnalJitterSpec",
     "DropTailQueue",
     "DuplexPath",
+    "ElementSpec",
     "Event",
     "EventQueue",
+    "GilbertElliottLossElement",
+    "GilbertLossSpec",
     "IcmpRateLimiter",
+    "JitterSpec",
     "Link",
+    "LinkSpec",
     "LoadBalancer",
     "LossElement",
+    "LossSpec",
     "PassthroughElement",
     "Pipeline",
+    "RouteFlapReorderer",
+    "RouteFlapSpec",
     "SeededRandom",
     "SimClock",
     "Simulator",
+    "StripeSpec",
     "StripedPathModel",
+    "SwapSpec",
     "Topology",
     "TraceCapture",
     "TraceRecord",
+    "TraceSpec",
+    "build_elements",
+    "build_pipeline",
 ]

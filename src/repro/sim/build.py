@@ -1,0 +1,249 @@
+"""Data-driven path construction: element specs in, wired pipelines out.
+
+Path pipelines used to be assembled by hand-written ``if`` chains in the
+testbed layer; every new kind of path condition meant editing that builder.
+This module inverts the dependency: a path is *described* as an ordered list
+of small, frozen :class:`ElementSpec` dataclasses, and :func:`build_pipeline`
+turns any such description into a wired :class:`~repro.sim.path.Pipeline`.
+
+Specs are plain data — hashable, picklable, comparable — so scenario
+definitions can carry them across process boundaries (the sharded campaign
+runner ships host specs to worker processes) and tests can assert on them
+directly.  Each stochastic spec names the ``label`` under which its element's
+random stream is forked from the path's :class:`~repro.sim.random.SeededRandom`;
+deterministic specs (links, trace capture) consume no randomness at all, so
+adding or removing them never perturbs neighbouring streams.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.sim.link import Link
+from repro.sim.path import PathElement, Pipeline
+from repro.sim.random import SeededRandom
+from repro.sim.reorder import AdjacentSwapReorderer, DelayJitterReorderer, LossElement
+from repro.sim.striping import StripedPathModel
+from repro.sim.timevary import (
+    DiurnalCongestionElement,
+    GilbertElliottLossElement,
+    RouteFlapReorderer,
+)
+from repro.sim.trace import TraceCapture
+
+
+@dataclass(frozen=True, slots=True)
+class ElementSpec(ABC):
+    """A declarative description of one path element.
+
+    ``label`` names the random stream the element forks from the path rng;
+    ``None`` declares the element deterministic (no stream is consumed).
+    """
+
+    @property
+    def label(self) -> Optional[str]:
+        return None
+
+    @abstractmethod
+    def build(self, rng: Optional[SeededRandom]) -> PathElement:
+        """Instantiate the element (``rng`` is the forked stream, or None)."""
+
+
+@dataclass(frozen=True, slots=True)
+class LinkSpec(ElementSpec):
+    """A FIFO link with serialization and propagation delay."""
+
+    bandwidth_bps: Optional[float] = None
+    propagation_delay: float = 0.0
+
+    def build(self, rng: Optional[SeededRandom]) -> PathElement:
+        return Link(bandwidth_bps=self.bandwidth_bps, propagation_delay=self.propagation_delay)
+
+
+@dataclass(frozen=True, slots=True)
+class TraceSpec(ElementSpec):
+    """A transparent capture point (the simulated tcpdump)."""
+
+    point: str = "capture"
+
+    def build(self, rng: Optional[SeededRandom]) -> PathElement:
+        return TraceCapture(point=self.point)
+
+
+@dataclass(frozen=True, slots=True)
+class LossSpec(ElementSpec):
+    """Independent per-packet loss with a fixed probability."""
+
+    probability: float = 0.0
+    stream: str = "loss"
+
+    @property
+    def label(self) -> Optional[str]:
+        return self.stream
+
+    def build(self, rng: Optional[SeededRandom]) -> PathElement:
+        assert rng is not None
+        return LossElement(self.probability, rng)
+
+
+@dataclass(frozen=True, slots=True)
+class SwapSpec(ElementSpec):
+    """Adjacent-swap reordering (the paper's modified-dummynet model)."""
+
+    probability: float = 0.0
+    stream: str = "swap"
+    max_hold_time: float = 0.03
+
+    @property
+    def label(self) -> Optional[str]:
+        return self.stream
+
+    def build(self, rng: Optional[SeededRandom]) -> PathElement:
+        assert rng is not None
+        return AdjacentSwapReorderer(self.probability, rng, max_hold_time=self.max_hold_time)
+
+
+@dataclass(frozen=True, slots=True)
+class JitterSpec(ElementSpec):
+    """Independent exponential extra delay per packet."""
+
+    jitter_mean: float = 0.0
+    base_delay: float = 0.0
+    stream: str = "jitter"
+
+    @property
+    def label(self) -> Optional[str]:
+        return self.stream
+
+    def build(self, rng: Optional[SeededRandom]) -> PathElement:
+        assert rng is not None
+        return DelayJitterReorderer(self.base_delay, self.jitter_mean, rng)
+
+
+@dataclass(frozen=True, slots=True)
+class StripeSpec(ElementSpec):
+    """Per-packet striping over parallel links (the §IV-C reordering source)."""
+
+    num_links: int = 2
+    link_rate_bps: float = 1e9
+    queue_imbalance_scale: float = 30e-6
+    switch_probability: float = 0.5
+    imbalance_probability: float = 0.6
+    stream: str = "stripe"
+
+    @property
+    def label(self) -> Optional[str]:
+        return self.stream
+
+    def build(self, rng: Optional[SeededRandom]) -> PathElement:
+        assert rng is not None
+        return StripedPathModel(
+            rng=rng,
+            num_links=self.num_links,
+            link_rate_bps=self.link_rate_bps,
+            queue_imbalance_scale=self.queue_imbalance_scale,
+            switch_probability=self.switch_probability,
+            imbalance_probability=self.imbalance_probability,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class GilbertLossSpec(ElementSpec):
+    """Bursty (two-state Markov) loss episodes."""
+
+    good_loss: float = 0.0
+    bad_loss: float = 0.3
+    p_good_to_bad: float = 0.005
+    p_bad_to_good: float = 0.2
+    stream: str = "gilbert-loss"
+
+    @property
+    def label(self) -> Optional[str]:
+        return self.stream
+
+    def build(self, rng: Optional[SeededRandom]) -> PathElement:
+        assert rng is not None
+        return GilbertElliottLossElement(
+            rng,
+            good_loss=self.good_loss,
+            bad_loss=self.bad_loss,
+            p_good_to_bad=self.p_good_to_bad,
+            p_bad_to_good=self.p_bad_to_good,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class RouteFlapSpec(ElementSpec):
+    """Reordering that spikes during randomly timed route-flap episodes."""
+
+    base_swap_probability: float = 0.0
+    flap_swap_probability: float = 0.35
+    mean_quiet_interval: float = 30.0
+    mean_flap_duration: float = 3.0
+    max_hold_time: float = 0.03
+    stream: str = "route-flap"
+
+    @property
+    def label(self) -> Optional[str]:
+        return self.stream
+
+    def build(self, rng: Optional[SeededRandom]) -> PathElement:
+        assert rng is not None
+        return RouteFlapReorderer(
+            rng,
+            base_swap_probability=self.base_swap_probability,
+            flap_swap_probability=self.flap_swap_probability,
+            mean_quiet_interval=self.mean_quiet_interval,
+            mean_flap_duration=self.mean_flap_duration,
+            max_hold_time=self.max_hold_time,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class DiurnalJitterSpec(ElementSpec):
+    """Sinusoidally modulated congestion jitter (simulated time of day)."""
+
+    peak_jitter: float = 0.002
+    period: float = 86_400.0
+    phase: float = 0.0
+    base_delay: float = 0.0
+    stream: str = "diurnal"
+
+    @property
+    def label(self) -> Optional[str]:
+        return self.stream
+
+    def build(self, rng: Optional[SeededRandom]) -> PathElement:
+        assert rng is not None
+        return DiurnalCongestionElement(
+            rng,
+            peak_jitter=self.peak_jitter,
+            period=self.period,
+            phase=self.phase,
+            base_delay=self.base_delay,
+        )
+
+
+def build_elements(
+    specs: Sequence[ElementSpec], rng: SeededRandom
+) -> list[PathElement]:
+    """Instantiate ``specs`` in order, forking one stream per stochastic spec.
+
+    Streams are forked from ``rng`` in spec order under each spec's
+    ``label``, so an element's randomness depends only on the sequence of
+    *stochastic* specs before it — deterministic specs are free to come and
+    go without re-seeding anything.
+    """
+    elements: list[PathElement] = []
+    for spec in specs:
+        label = spec.label
+        child = rng.fork(label) if label is not None else None
+        elements.append(spec.build(child))
+    return elements
+
+
+def build_pipeline(specs: Sequence[ElementSpec], rng: SeededRandom) -> Pipeline:
+    """Build a unidirectional pipeline from an ordered spec list."""
+    return Pipeline(build_elements(specs, rng))

@@ -74,7 +74,12 @@ def wilson_interval(successes: int, trials: int, confidence: float = 0.95) -> tu
     denom = 1.0 + z * z / trials
     center = (p_hat + z * z / (2 * trials)) / denom
     margin = (z / denom) * math.sqrt(p_hat * (1 - p_hat) / trials + z * z / (4 * trials * trials))
-    return max(0.0, center - margin), min(1.0, center + margin)
+    # The Wilson interval provably contains the point estimate; clamp so
+    # floating-point rounding at the extremes (e.g. successes == 0, where
+    # center and margin are mathematically equal) cannot violate that.
+    low = max(0.0, min(center - margin, p_hat))
+    high = min(1.0, max(center + margin, p_hat))
+    return low, high
 
 
 def normal_interval(successes: int, trials: int, confidence: float = 0.95) -> tuple[float, float]:

@@ -1,141 +1,52 @@
 """Synthetic Internet host populations for the survey experiments (§IV-B).
 
-The paper probed 15 hand-picked hosts (covering all major operating systems
-and several very popular, load-balanced sites) plus 35 hosts drawn from a
-random URL database.  :func:`generate_population` builds the simulated
-analogue: a seedable mix of OS profiles, load-balanced clusters, ICMP
-filtering, path delays, and per-path reordering processes whose intensity
-varies across paths so that the resulting per-path rate distribution has the
-heavy-at-zero, long-tailed shape the paper's Figure 5 shows.
+The population machinery itself lives in the scenario layer
+(:mod:`repro.scenarios`): a :class:`~repro.scenarios.spec.NetworkScenario`
+describes path conditions declaratively and
+:func:`~repro.scenarios.population.build_scenario_hosts` materialises it into
+host specs.  This module is the thin, stable workload-level surface over it:
+:func:`generate_population` is exactly the ``imc2002-survey`` named scenario
+(the paper's static survey population — OS mix, load-balanced clusters, ICMP
+filtering, heavy-at-zero long-tailed per-path rates) and is bit-for-bit
+reproducible for a fixed ``(spec, seed)``, just as it was before scenarios
+existed.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import dataclasses
 from typing import Sequence, TypeVar
 
 T = TypeVar("T")
 
-from repro.host.os_profiles import (
-    FREEBSD_44,
-    LEGACY_DELAYED_ACK,
-    LINUX_22,
-    LINUX_24,
-    OPENBSD_30,
-    SOLARIS_8,
-    SPEC_STRICT,
-    WINDOWS_2000,
-    OsProfile,
-)
+from repro.host.os_profiles import FREEBSD_44
 from repro.net.errors import SimulationError
 from repro.net.flow import parse_address
+from repro.scenarios.population import build_scenario_hosts
+from repro.scenarios.registry import LEGACY_SCENARIO, get_scenario
+from repro.scenarios.spec import PopulationSpec
 from repro.sim.random import SeededRandom
-from repro.workloads.testbed import HostSpec, PathSpec, StripingSpec
+from repro.workloads.testbed import HostSpec, PathSpec
 
-_BASE_ADDRESS = parse_address("172.16.0.10")
-
-_OS_MIX: tuple[tuple[OsProfile, float], ...] = (
-    (FREEBSD_44, 0.22),
-    (WINDOWS_2000, 0.24),
-    (LINUX_22, 0.16),
-    (LINUX_24, 0.18),
-    (OPENBSD_30, 0.06),
-    (SOLARIS_8, 0.06),
-    (SPEC_STRICT, 0.04),
-    (LEGACY_DELAYED_ACK, 0.04),
-)
-
-
-@dataclass(frozen=True, slots=True)
-class PopulationSpec:
-    """Parameters controlling a synthetic host population."""
-
-    num_hosts: int = 50
-    load_balanced_fraction: float = 0.16
-    """Fraction of sites behind a transparent load balancer (8/50 in the paper)."""
-
-    reordering_path_fraction: float = 0.45
-    """Fraction of paths with a non-negligible reordering process (>40 % of
-    paths showed some reordering over the paper's campaign)."""
-
-    heavy_reordering_fraction: float = 0.10
-    """Fraction of paths with strong, striping-induced reordering."""
-
-    forward_bias: float = 2.0
-    """Ratio of forward to reverse reordering intensity (the paper observed
-    more forward-path than reverse-path reordering from its vantage point)."""
-
-    icmp_filtered_fraction: float = 0.15
-    mean_swap_probability: float = 0.04
-    loss_probability: float = 0.002
-    redirect_fraction: float = 0.08
-    """Fraction of sites whose root object fits in one packet (HTTP redirects)."""
-
-
-def _pick_profile(rng: SeededRandom) -> OsProfile:
-    draw = rng.random()
-    cumulative = 0.0
-    for profile, weight in _OS_MIX:
-        cumulative += weight
-        if draw < cumulative:
-            return profile
-    return _OS_MIX[-1][0]
-
-
-def _build_path(spec: PopulationSpec, rng: SeededRandom) -> PathSpec:
-    delay = rng.uniform(0.004, 0.060)
-    reordering = rng.random() < spec.reordering_path_fraction
-    heavy = reordering and rng.random() < (spec.heavy_reordering_fraction / spec.reordering_path_fraction)
-
-    forward_swap = 0.0
-    reverse_swap = 0.0
-    forward_striping = None
-    reverse_striping = None
-    if reordering:
-        intensity = rng.exponential(spec.mean_swap_probability)
-        intensity = min(intensity, 0.35)
-        forward_swap = intensity
-        reverse_swap = intensity / spec.forward_bias
-        if heavy:
-            forward_striping = StripingSpec(queue_imbalance_scale=rng.uniform(20e-6, 60e-6))
-    return PathSpec(
-        forward_swap_probability=forward_swap,
-        reverse_swap_probability=reverse_swap,
-        forward_loss=spec.loss_probability,
-        reverse_loss=spec.loss_probability,
-        propagation_delay=delay,
-        forward_striping=forward_striping,
-        reverse_striping=reverse_striping,
-    )
+__all__ = [
+    "PopulationSpec",
+    "address_block",
+    "generate_population",
+    "generate_population_shards",
+    "partition_specs",
+    "popular_site_specs",
+]
 
 
 def generate_population(spec: PopulationSpec, seed: int = 7) -> list[HostSpec]:
-    """Generate ``spec.num_hosts`` host specs with deterministic randomness."""
-    if spec.num_hosts < 1:
-        raise SimulationError(f"population needs at least one host: {spec.num_hosts}")
-    rng = SeededRandom(seed)
-    hosts: list[HostSpec] = []
-    for index in range(spec.num_hosts):
-        host_rng = rng.fork(f"host:{index}")
-        profile = _pick_profile(host_rng)
-        behind_lb = host_rng.random() < spec.load_balanced_fraction
-        icmp_enabled = host_rng.random() >= spec.icmp_filtered_fraction
-        if host_rng.random() < spec.redirect_fraction:
-            object_size = 200
-        else:
-            object_size = host_rng.randint(8, 64) * 1024
-        hosts.append(
-            HostSpec(
-                name=f"host-{index:03d}",
-                address=_BASE_ADDRESS + index,
-                profile=profile,
-                path=_build_path(spec, host_rng),
-                web_object_size=object_size,
-                icmp_enabled=icmp_enabled,
-                load_balancer_backends=host_rng.randint(2, 4) if behind_lb else 0,
-            )
-        )
-    return hosts
+    """Generate ``spec.num_hosts`` host specs with deterministic randomness.
+
+    Equivalent to materialising the ``imc2002-survey`` scenario with
+    ``spec`` as its population — the legacy hard-wired population is just
+    that named scenario.
+    """
+    scenario = dataclasses.replace(get_scenario(LEGACY_SCENARIO), population=spec)
+    return build_scenario_hosts(scenario, seed=seed)
 
 
 def popular_site_specs(seed: int = 11) -> list[HostSpec]:

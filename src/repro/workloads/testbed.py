@@ -1,8 +1,15 @@
 """Declarative construction of simulated testbeds.
 
 A testbed is one probe host plus any number of remote sites, each reachable
-over its own duplex path assembled from the reordering / loss / striping
-elements in :mod:`repro.sim`.  Trace captures are installed at the server
+over its own duplex path.  Paths are not assembled by hand here: a site's
+:class:`PathSpec` is *compiled* to an ordered list of
+:class:`~repro.sim.build.ElementSpec` descriptions by
+:func:`path_element_specs`, and the data-driven
+:func:`~repro.sim.build.build_elements` turns the description into wired
+elements.  Scenario-defined conditions (bursty loss, route flaps, diurnal
+congestion — any :class:`~repro.sim.build.ElementSpec`) ride along in
+``PathSpec.forward_conditions`` / ``reverse_conditions`` without this module
+knowing their concrete types.  Trace captures are installed at the server
 side of the forward path and at the server egress of the reverse path so
 controlled-validation experiments can extract ground truth.
 """
@@ -18,13 +25,20 @@ from repro.host.raw_socket import ProbeHost
 from repro.host.server import WebServer, build_server
 from repro.net.errors import TopologyError
 from repro.net.flow import parse_address
-from repro.sim.link import Link
+from repro.sim.build import (
+    ElementSpec,
+    JitterSpec,
+    LinkSpec,
+    LossSpec,
+    StripeSpec,
+    SwapSpec,
+    TraceSpec,
+    build_elements,
+)
 from repro.sim.middlebox import LoadBalancer
 from repro.sim.path import DuplexPath, PathElement, Pipeline
 from repro.sim.random import SeededRandom
-from repro.sim.reorder import AdjacentSwapReorderer, DelayJitterReorderer, LossElement
 from repro.sim.simulator import Simulator
-from repro.sim.striping import StripedPathModel
 from repro.sim.topology import Topology
 from repro.sim.trace import TraceCapture
 
@@ -56,6 +70,14 @@ class PathSpec:
     reverse_striping: Optional[StripingSpec] = None
     forward_jitter_mean: float = 0.0
     reverse_jitter_mean: float = 0.0
+    forward_conditions: tuple[ElementSpec, ...] = ()
+    """Extra declarative path elements appended to the forward pipeline
+    (upstream of the arrival trace).  The scenario layer uses these slots for
+    time-varying conditions the scalar fields above cannot express."""
+
+    reverse_conditions: tuple[ElementSpec, ...] = ()
+    """Extra declarative elements for the reverse pipeline (after the egress
+    trace, before the access link)."""
 
 
 @dataclass(frozen=True, slots=True)
@@ -184,47 +206,73 @@ class Testbed:
         spec: HostSpec,
         rng: SeededRandom,
     ) -> tuple[list[PathElement], list[PathElement], TraceCapture, TraceCapture]:
-        path = spec.path
-        forward_trace = TraceCapture(point=f"{spec.name}:forward-arrival")
-        reverse_trace = TraceCapture(point=f"{spec.name}:reverse-egress")
-
-        forward: list[PathElement] = [
-            Link(bandwidth_bps=path.access_bandwidth_bps, propagation_delay=path.propagation_delay)
-        ]
-        if path.forward_loss > 0.0:
-            forward.append(LossElement(path.forward_loss, rng.fork("fwd-loss")))
-        if path.forward_jitter_mean > 0.0:
-            forward.append(DelayJitterReorderer(0.0, path.forward_jitter_mean, rng.fork("fwd-jitter")))
-        if path.forward_striping is not None:
-            forward.append(self._build_striping(path.forward_striping, rng.fork("fwd-stripe")))
-        if path.forward_swap_probability > 0.0:
-            forward.append(AdjacentSwapReorderer(path.forward_swap_probability, rng.fork("fwd-swap")))
-        forward.append(forward_trace)
-
-        reverse: list[PathElement] = [reverse_trace]
-        if path.reverse_swap_probability > 0.0:
-            reverse.append(AdjacentSwapReorderer(path.reverse_swap_probability, rng.fork("rev-swap")))
-        if path.reverse_striping is not None:
-            reverse.append(self._build_striping(path.reverse_striping, rng.fork("rev-stripe")))
-        if path.reverse_jitter_mean > 0.0:
-            reverse.append(DelayJitterReorderer(0.0, path.reverse_jitter_mean, rng.fork("rev-jitter")))
-        if path.reverse_loss > 0.0:
-            reverse.append(LossElement(path.reverse_loss, rng.fork("rev-loss")))
-        reverse.append(
-            Link(bandwidth_bps=path.access_bandwidth_bps, propagation_delay=path.propagation_delay)
-        )
+        forward_specs, reverse_specs = path_element_specs(spec)
+        forward = build_elements(forward_specs, rng)
+        reverse = build_elements(reverse_specs, rng)
+        forward_trace = _find_trace(forward, spec, "forward")
+        reverse_trace = _find_trace(reverse, spec, "reverse")
         return forward, reverse, forward_trace, reverse_trace
 
-    @staticmethod
-    def _build_striping(spec: StripingSpec, rng: SeededRandom) -> StripedPathModel:
-        return StripedPathModel(
-            rng=rng,
-            num_links=spec.num_links,
-            link_rate_bps=spec.link_rate_bps,
-            queue_imbalance_scale=spec.queue_imbalance_scale,
-            switch_probability=spec.switch_probability,
-            imbalance_probability=spec.imbalance_probability,
-        )
+
+def _striping_spec(spec: StripingSpec, stream: str) -> StripeSpec:
+    return StripeSpec(
+        num_links=spec.num_links,
+        link_rate_bps=spec.link_rate_bps,
+        queue_imbalance_scale=spec.queue_imbalance_scale,
+        switch_probability=spec.switch_probability,
+        imbalance_probability=spec.imbalance_probability,
+        stream=stream,
+    )
+
+
+def path_element_specs(
+    spec: HostSpec,
+) -> tuple[tuple[ElementSpec, ...], tuple[ElementSpec, ...]]:
+    """Compile a site's :class:`PathSpec` into declarative element specs.
+
+    Returns ``(forward, reverse)`` ordered spec tuples.  The forward pipeline
+    runs access link → loss → jitter → striping → swap → scenario conditions
+    → arrival trace; the reverse pipeline mirrors it (egress trace first,
+    access link last).  Stream labels match the historical per-site fork
+    labels, and absent stages emit no spec at all, so paths described by the
+    scalar ``PathSpec`` fields reproduce pre-declarative builds bit for bit.
+    """
+    path = spec.path
+    forward: list[ElementSpec] = [
+        LinkSpec(bandwidth_bps=path.access_bandwidth_bps, propagation_delay=path.propagation_delay)
+    ]
+    if path.forward_loss > 0.0:
+        forward.append(LossSpec(path.forward_loss, stream="fwd-loss"))
+    if path.forward_jitter_mean > 0.0:
+        forward.append(JitterSpec(path.forward_jitter_mean, stream="fwd-jitter"))
+    if path.forward_striping is not None:
+        forward.append(_striping_spec(path.forward_striping, stream="fwd-stripe"))
+    if path.forward_swap_probability > 0.0:
+        forward.append(SwapSpec(path.forward_swap_probability, stream="fwd-swap"))
+    forward.extend(path.forward_conditions)
+    forward.append(TraceSpec(point=f"{spec.name}:forward-arrival"))
+
+    reverse: list[ElementSpec] = [TraceSpec(point=f"{spec.name}:reverse-egress")]
+    if path.reverse_swap_probability > 0.0:
+        reverse.append(SwapSpec(path.reverse_swap_probability, stream="rev-swap"))
+    if path.reverse_striping is not None:
+        reverse.append(_striping_spec(path.reverse_striping, stream="rev-stripe"))
+    if path.reverse_jitter_mean > 0.0:
+        reverse.append(JitterSpec(path.reverse_jitter_mean, stream="rev-jitter"))
+    if path.reverse_loss > 0.0:
+        reverse.append(LossSpec(path.reverse_loss, stream="rev-loss"))
+    reverse.extend(path.reverse_conditions)
+    reverse.append(
+        LinkSpec(bandwidth_bps=path.access_bandwidth_bps, propagation_delay=path.propagation_delay)
+    )
+    return tuple(forward), tuple(reverse)
+
+
+def _find_trace(elements: list[PathElement], spec: HostSpec, direction: str) -> TraceCapture:
+    for element in elements:
+        if isinstance(element, TraceCapture):
+            return element
+    raise TopologyError(f"site {spec.name!r} has no {direction} trace capture")
 
 
 def build_testbed(

@@ -1,0 +1,61 @@
+"""Tests for the ``python -m repro`` scenario-survey entry point."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import build_parser, main
+from repro.scenarios import scenario_names
+
+
+def test_list_scenarios_prints_catalogue(capsys):
+    assert main(["--list-scenarios"]) == 0
+    out = capsys.readouterr().out
+    for name in scenario_names():
+        assert name in out
+
+
+def test_unknown_scenario_is_a_usage_error(capsys):
+    assert main(["--scenario", "definitely-not-registered"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_survey_run_prints_summary_tables(capsys):
+    code = main(
+        [
+            "--scenario", "bursty-loss",
+            "--hosts", "4",
+            "--shards", "2",
+            "--seed", "3",
+            "--rounds", "1",
+            "--samples", "4",
+            "--executor", "serial",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Host eligibility by technique" in out
+    assert "Scenario comparison" in out
+    assert "scenario=bursty-loss hosts=4" in out
+
+
+def test_survey_output_is_deterministic(capsys):
+    argv = [
+        "--scenario", "route-flap",
+        "--hosts", "4",
+        "--seed", "9",
+        "--rounds", "1",
+        "--samples", "4",
+        "--executor", "serial",
+    ]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert main(argv) == 0
+    assert capsys.readouterr().out == first
+
+
+def test_parser_defaults_match_documented_surface():
+    args = build_parser().parse_args([])
+    assert args.scenario == "imc2002-survey"
+    assert args.shards == 1
+    assert args.seed == 7

@@ -217,17 +217,18 @@ def test_record_signature_ignores_bookkeeping_but_not_content():
     assert record_signature(a) != record_signature(c)
 
 
-def test_ineligible_flag_explicit_and_backcompat():
+def test_ineligible_flag_is_explicit_only():
+    """The bool field is authoritative; the error text is never pattern-matched."""
     explicit = ProbeReport(
         test=TestName.DUAL_CONNECTION, host_address=1, result=None,
         error="not eligible: ipid validation failed", ineligible=True,
     )
     assert explicit.ineligible
-    legacy = ProbeReport(
+    string_only = ProbeReport(
         test=TestName.DUAL_CONNECTION, host_address=1, result=None,
         error="not eligible: ipid validation failed",
     )
-    assert legacy.ineligible  # string-constructed reports stay flagged
+    assert not string_only.ineligible  # no string sniffing any more
     plain_failure = ProbeReport(
         test=TestName.SYN, host_address=1, result=None, error="handshake timed out"
     )
