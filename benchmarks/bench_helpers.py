@@ -2,6 +2,17 @@
 
 from __future__ import annotations
 
+import json
+import os
+import time
+from pathlib import Path
+from typing import Mapping
+
+#: Default trajectory file, at the repository root.  Every PR from PR 3 on
+#: appends its headline numbers here so performance regressions are visible
+#: in review rather than discovered later.
+DEFAULT_BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR3.json"
+
 
 def run_once(benchmark, func):
     """Run an experiment exactly once under pytest-benchmark timing.
@@ -11,3 +22,34 @@ def run_once(benchmark, func):
     without changing the regenerated tables.
     """
     return benchmark.pedantic(func, rounds=1, iterations=1)
+
+
+def bench_output_path() -> Path:
+    """Where bench results are recorded: ``$BENCH_OUTPUT`` or the repo root file."""
+    override = os.environ.get("BENCH_OUTPUT")
+    return Path(override) if override else DEFAULT_BENCH_PATH
+
+
+def record_bench(experiment: str, metrics: Mapping[str, float]) -> Path:
+    """Merge one experiment's metrics into the bench trajectory JSON.
+
+    The file maps experiment name -> metric dict.  Existing sections other
+    than ``experiment`` (including the committed ``pre_pr_baseline``) are
+    preserved, so successive benchmark runs update their own numbers without
+    erasing history.  Returns the path written, for logging.
+    """
+    path = bench_output_path()
+    data: dict = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            data = {}
+    section = dict(data.get(experiment, {}))
+    section.update({key: value for key, value in metrics.items()})
+    section["recorded_unix_time"] = time.time()
+    section["cpu_count"] = os.cpu_count()
+    data[experiment] = section
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,122 @@
+"""CI regression gate: compare a fresh bench run against the committed baseline.
+
+Usage::
+
+    python benchmarks/check_regression.py --fresh bench_fresh.json \
+        [--baseline BENCH_PR3.json] [--threshold 0.30]
+
+Only the best-of-N *serial-engine* throughput metrics are gated
+(``events_per_sec``, ``hosts_per_sec``, ``measurements_per_sec_serial``):
+process-pool numbers are single-shot and dominated by worker spin-up on
+small configs, so gating them would flake on loaded runners.  Sections
+present in only one file are skipped (the CI smoke job runs a subset of the
+experiments).  A section whose recorded ``cpu_count`` differs from the
+baseline's is also skipped with a notice: absolute throughput is
+machine-class-dependent, and comparing a laptop baseline against a CI
+runner (or vice versa) would make the gate either spurious or vacuous.
+The CI workflow therefore gates successive runs of the *same runner class*
+against each other (previous run's JSON restored from the actions cache),
+using the committed file only as a same-machine fallback.
+
+When no ``--baseline`` is given, the baseline is read from the **committed**
+``BENCH_PR3.json`` (``git show HEAD:BENCH_PR3.json``) rather than the
+working-tree file: running the benchmarks locally rewrites the working-tree
+file in place, and gating against the numbers a possibly-regressed run just
+wrote would neutralise the gate.  The working-tree file is only used when
+git is unavailable.
+
+Exit status: 0 when no gated metric regressed, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE_NAME = "BENCH_PR3.json"
+
+#: Best-of-N serial-engine statistics: stable enough to gate at 30%.
+GATED_METRICS = ("events_per_sec", "hosts_per_sec", "measurements_per_sec_serial")
+
+
+def compare(fresh: dict, baseline: dict, threshold: float) -> list[str]:
+    """Return a list of human-readable regression descriptions (empty = pass)."""
+    failures: list[str] = []
+    for section, base_metrics in baseline.items():
+        if section == "pre_pr_baseline" or not isinstance(base_metrics, dict):
+            continue
+        fresh_metrics = fresh.get(section)
+        if not isinstance(fresh_metrics, dict):
+            continue
+        base_cpus = base_metrics.get("cpu_count")
+        fresh_cpus = fresh_metrics.get("cpu_count")
+        if base_cpus != fresh_cpus:
+            print(
+                f"note: skipping {section}: baseline recorded on a "
+                f"{base_cpus}-cpu machine, this run on {fresh_cpus} cpus — "
+                "re-pin the baseline from this machine class to enable the gate"
+            )
+            continue
+        for name in GATED_METRICS:
+            base_value = base_metrics.get(name)
+            if not isinstance(base_value, (int, float)) or base_value <= 0:
+                continue
+            fresh_value = fresh_metrics.get(name)
+            if not isinstance(fresh_value, (int, float)):
+                continue
+            floor = base_value * (1.0 - threshold)
+            if fresh_value < floor:
+                failures.append(
+                    f"{section}.{name}: {fresh_value:.1f} < {floor:.1f} "
+                    f"(baseline {base_value:.1f}, threshold {threshold:.0%})"
+                )
+    return failures
+
+
+def load_committed_baseline() -> dict:
+    """Read the baseline as last committed (HEAD), not as on disk."""
+    try:
+        blob = subprocess.run(
+            ["git", "show", f"HEAD:{DEFAULT_BASELINE_NAME}"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+        return json.loads(blob)
+    except (OSError, subprocess.CalledProcessError, ValueError):
+        path = REPO_ROOT / DEFAULT_BASELINE_NAME
+        print(f"note: falling back to working-tree baseline {path}")
+        return json.loads(path.read_text())
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fresh", required=True, type=Path, help="bench JSON from this run")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="baseline JSON (default: committed BENCH_PR3.json at HEAD)")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="allowed fractional drop before failing (default 0.30)")
+    args = parser.parse_args(argv)
+
+    fresh = json.loads(args.fresh.read_text())
+    if args.baseline is not None:
+        baseline = json.loads(args.baseline.read_text())
+    else:
+        baseline = load_committed_baseline()
+    failures = compare(fresh, baseline, args.threshold)
+    if failures:
+        print("benchmark regression gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"benchmark regression gate passed (threshold {args.threshold:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,7 +19,7 @@ from __future__ import annotations
 import os
 import time
 
-from bench_helpers import run_once
+from bench_helpers import record_bench, run_once
 
 from repro.analysis.scenarios import compare_scenarios
 from repro.core.campaign import CampaignConfig
@@ -44,6 +44,12 @@ CONFIG = CampaignConfig(
 )
 
 
+TIMING_REPEATS = 5 if TINY else 3
+"""Serial sweep timing is best-of-N: the sweep is deterministic, so repeats
+only reject scheduler noise before the number enters the CI regression
+gate.  The tiny (CI-gated) config affords more repeats."""
+
+
 def _sweep(executor: str):
     matrix = ScenarioMatrix.of(SCENARIOS, OS_NAMES)
     start = time.perf_counter()
@@ -55,6 +61,10 @@ def _sweep(executor: str):
 
 def _run():
     serial, serial_elapsed = _sweep(EXECUTOR_SERIAL)
+    for _ in range(TIMING_REPEATS - 1):
+        repeat, elapsed = _sweep(EXECUTOR_SERIAL)
+        if elapsed < serial_elapsed:
+            serial, serial_elapsed = repeat, elapsed
     sharded, sharded_elapsed = _sweep(EXECUTOR_PROCESS)
     return serial, serial_elapsed, sharded, sharded_elapsed
 
@@ -82,6 +92,20 @@ def test_bench_scenario_sweep(benchmark):
     )
     print()
     print(compare_scenarios(serial.results()).to_table())
+    # Tiny (CI smoke) runs are recorded under their own section so the
+    # regression gate always compares like-for-like configurations.
+    out = record_bench(
+        "e10_scenario_sweep_tiny" if TINY else "e10_scenario_sweep",
+        {
+            "cells": cells,
+            "serial_elapsed_s": serial_elapsed,
+            "process_elapsed_s": sharded_elapsed,
+            "measurements_per_sec_serial": measurements / serial_elapsed,
+            "measurements_per_sec_process": measurements / sharded_elapsed,
+            "speedup_process_vs_serial": serial_elapsed / sharded_elapsed,
+        },
+    )
+    print(f"recorded -> {out}")
 
     # Executor choice must never change what a fixed matrix layout measured.
     assert set(sharded.runs) == set(serial.runs)

@@ -13,7 +13,7 @@ from __future__ import annotations
 import os
 import time
 
-from bench_helpers import run_once
+from bench_helpers import record_bench, run_once
 
 from repro.core.campaign import Campaign, CampaignConfig
 from repro.core.prober import TestName
@@ -24,6 +24,11 @@ from repro.workloads.testbed import build_testbed
 NUM_HOSTS = 12
 SHARDS = 4
 SEED = 97
+TIMING_REPEATS = 5
+"""Serial-engine timing is best-of-N: the simulation is deterministic, so
+repeats only reject scheduler noise, and the recorded events/sec feeds the
+CI regression gate, which wants a stable statistic.  Each repeat is ~70 ms,
+so five keep the whole benchmark well under a second."""
 
 CONFIG = CampaignConfig(
     rounds=2,
@@ -43,10 +48,17 @@ def _run():
     )
     specs = generate_population(spec, seed=SEED)
 
-    start = time.perf_counter()
-    testbed = build_testbed(specs, seed=SEED, stable_site_seeds=True)
-    serial = Campaign(testbed.probe, testbed.addresses(), CONFIG).run()
-    serial_elapsed = time.perf_counter() - start
+    serial = None
+    serial_elapsed = float("inf")
+    events_processed = 0
+    for _ in range(TIMING_REPEATS):
+        start = time.perf_counter()
+        testbed = build_testbed(specs, seed=SEED, stable_site_seeds=True)
+        result = Campaign(testbed.probe, testbed.addresses(), CONFIG).run()
+        elapsed = time.perf_counter() - start
+        if elapsed < serial_elapsed:
+            serial, serial_elapsed = result, elapsed
+            events_processed = testbed.probe.sim.processed_events
 
     start = time.perf_counter()
     runner = CampaignRunner(
@@ -55,21 +67,34 @@ def _run():
     sharded = runner.run()
     sharded_elapsed = time.perf_counter() - start
 
-    return serial, serial_elapsed, sharded, sharded_elapsed
+    return serial, serial_elapsed, events_processed, sharded, sharded_elapsed
 
 
 def test_bench_campaign_scale(benchmark):
-    serial, serial_elapsed, sharded, sharded_elapsed = run_once(benchmark, _run)
+    serial, serial_elapsed, events, sharded, sharded_elapsed = run_once(benchmark, _run)
 
     measurements = len(serial.records)
     serial_rate = measurements / serial_elapsed
     sharded_rate = measurements / sharded_elapsed
+    events_rate = events / serial_elapsed
     print()
     print(f"campaign: {NUM_HOSTS} hosts x {CONFIG.rounds} rounds x "
-          f"{len(CONFIG.tests)} tests = {measurements} measurements")
-    print(f"serial engine:  {serial_elapsed:8.3f} s  {serial_rate:8.1f} measurements/s")
+          f"{len(CONFIG.tests)} tests = {measurements} measurements, {events} events")
+    print(f"serial engine:  {serial_elapsed:8.3f} s  {serial_rate:8.1f} measurements/s "
+          f"{events_rate:10.0f} events/s")
     print(f"sharded runner: {sharded_elapsed:8.3f} s  {sharded_rate:8.1f} measurements/s "
           f"({SHARDS} shards, {os.cpu_count()} cores, speedup x{serial_elapsed / sharded_elapsed:.2f})")
+    out = record_bench(
+        "e9_campaign_scale",
+        {
+            "events_per_sec": events_rate,
+            "hosts_per_sec": NUM_HOSTS / serial_elapsed,
+            "measurements_per_sec_serial": serial_rate,
+            "measurements_per_sec_sharded": sharded_rate,
+            "speedup_sharded_vs_serial": serial_elapsed / sharded_elapsed,
+        },
+    )
+    print(f"recorded -> {out}")
 
     # Sharding must never change what was measured.
     assert len(sharded.records) == measurements

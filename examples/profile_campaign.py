@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Profile one sharded scenario sweep and print the top cumulative hotspots.
+
+Future performance PRs should start from data, not intuition: this script
+runs a small scenario sweep through the sharded campaign runner (serial
+executor, so every simulated event stays inside the profiled process) under
+:mod:`cProfile` and prints the top-20 functions by cumulative time.  The
+PR 3 hot-path overhaul was driven by exactly this view — the costs were
+spread across enum flag operations, event-heap comparisons, per-event
+predicate polling, and packet length recomputation rather than concentrated
+in one function, which is why that PR touched every layer.
+
+Usage::
+
+    PYTHONPATH=src python examples/profile_campaign.py [--hosts N] [--top K]
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import pstats
+
+from repro.core.campaign import CampaignConfig
+from repro.core.prober import TestName
+from repro.core.runner import EXECUTOR_SERIAL
+from repro.scenarios import MIXED_OS, ScenarioMatrix, run_matrix, scenario_names
+
+SEED = 1302
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--hosts", type=int, default=4, help="hosts per scenario cell")
+    parser.add_argument("--shards", type=int, default=2, help="shards per cell")
+    parser.add_argument("--top", type=int, default=20, help="hotspots to print")
+    parser.add_argument(
+        "--sort",
+        default="cumulative",
+        choices=("cumulative", "tottime"),
+        help="pstats sort order",
+    )
+    args = parser.parse_args()
+
+    config = CampaignConfig(
+        rounds=1,
+        samples_per_measurement=6,
+        tests=(TestName.SINGLE_CONNECTION, TestName.SYN),
+        inter_measurement_gap=0.2,
+        inter_round_gap=1.0,
+    )
+    matrix = ScenarioMatrix.of(scenario_names()[:3], (MIXED_OS,))
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    outcome = run_matrix(
+        matrix,
+        config,
+        hosts=args.hosts,
+        seed=SEED,
+        shards=args.shards,
+        executor=EXECUTOR_SERIAL,
+    )
+    profiler.disable()
+
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    print(
+        f"profiled sweep: {len(outcome.runs)} cells, "
+        f"{outcome.total_measurements()} measurements"
+    )
+    print(f"top {args.top} functions by {args.sort} time:")
+    print(stream.getvalue())
+
+
+if __name__ == "__main__":
+    main()

@@ -26,14 +26,20 @@ follow:
   across runs, executors (process / thread / serial), and worker counts.
 * **Shard count doesn't change measurements** for sites whose behaviour
   depends only on their own path and stack — i.e. every site *not* behind a
-  port-hashing middlebox.  The merged result then matches the serial
-  campaign's records modulo simulated timestamps (each shard's clock starts
-  at zero) and packet uids.  Sites behind a transparent load balancer are
-  the exception: backend selection hashes ephemeral ports, and the probe's
-  port sequence depends on shard composition, so an LB site may flip
-  backends when the layout changes — exactly as it would between reruns of
-  the real survey.  ``docs/architecture.md`` ("The sharded campaign
-  runner") spells this out.
+  port-hashing middlebox and *not* on a time-varying path.  The merged
+  result then matches the serial campaign's records modulo simulated
+  timestamps (each shard's clock starts at zero) and packet uids.  Two
+  exception classes exist.  Sites behind a transparent load balancer:
+  backend selection hashes ephemeral ports, and the probe's port sequence
+  depends on shard composition, so an LB site may flip backends when the
+  layout changes — exactly as it would between reruns of the real survey.
+  Sites on time-varying paths (diurnal congestion cycles, scheduled route
+  flaps, clocked loss episodes — anything where
+  :meth:`repro.scenarios.NetworkScenario.is_time_varying` is true): shard
+  composition determines *when* in simulated time each host is visited, and
+  a path that answers differently at different times of day measures
+  differently.  ``docs/architecture.md`` ("The sharded campaign runner")
+  spells this out.
 """
 
 from __future__ import annotations
@@ -83,6 +89,54 @@ class ShardOutcome:
     index: int
     host_addresses: tuple[int, ...]
     records: list[HostRoundResult]
+
+
+@dataclass(frozen=True, slots=True)
+class ShardContext:
+    """The run-wide half of a :class:`ShardTask`, shipped to workers once.
+
+    Every shard of one campaign shares the same config, test tuple, seed,
+    port, and scenario label; only the spec slice differs.  Sending the
+    shared part through the :class:`~concurrent.futures.ProcessPoolExecutor`
+    *initializer* (once per worker) instead of inside every task cuts the
+    per-shard pickling to just ``(index, specs)``.
+    """
+
+    config: CampaignConfig
+    tests: Optional[tuple[TestName, ...]]
+    seed: int
+    remote_port: int
+    scenario: Optional[str]
+
+    def task(self, index: int, specs: tuple[HostSpec, ...]) -> ShardTask:
+        """Recombine this context with one shard's spec slice."""
+        return ShardTask(
+            index=index,
+            specs=specs,
+            config=self.config,
+            tests=self.tests,
+            seed=self.seed,
+            remote_port=self.remote_port,
+            scenario=self.scenario,
+        )
+
+
+_WORKER_CONTEXT: Optional[ShardContext] = None
+
+
+def _init_shard_worker(context: ShardContext) -> None:
+    """Process-pool initializer: stash the run-wide shard context."""
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+
+
+def _run_shard_slice(slice_: tuple[int, tuple[HostSpec, ...]]) -> ShardOutcome:
+    """Worker entry point: rebuild the full task from the stashed context."""
+    context = _WORKER_CONTEXT
+    if context is None:  # pragma: no cover - initializer always runs first
+        raise MeasurementError("shard worker used before its initializer ran")
+    index, specs = slice_
+    return run_shard(context.task(index, specs))
 
 
 def record_signature(record: HostRoundResult) -> tuple:
@@ -236,10 +290,29 @@ class CampaignRunner:
     def _execute(self, tasks: list[ShardTask]) -> list[ShardOutcome]:
         if self.executor == EXECUTOR_SERIAL or len(tasks) == 1:
             return [run_shard(task) for task in tasks]
-        pool_cls = ProcessPoolExecutor if self.executor == EXECUTOR_PROCESS else ThreadPoolExecutor
         workers = self.max_workers or min(len(tasks), os.cpu_count() or 1)
         try:
-            with pool_cls(max_workers=workers) as pool:
+            if self.executor == EXECUTOR_PROCESS:
+                # Ship the run-wide context once per worker via the pool
+                # initializer; tasks then carry only (index, specs).  Chunking
+                # amortises the remaining IPC round-trips when there are many
+                # more shards than workers.
+                context = ShardContext(
+                    config=self.config,
+                    tests=tasks[0].tests,
+                    seed=self.seed,
+                    remote_port=self.remote_port,
+                    scenario=self.scenario,
+                )
+                slices = [(task.index, task.specs) for task in tasks]
+                chunksize = max(1, len(slices) // (workers * 4))
+                with ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_init_shard_worker,
+                    initargs=(context,),
+                ) as pool:
+                    return list(pool.map(_run_shard_slice, slices, chunksize=chunksize))
+            with ThreadPoolExecutor(max_workers=workers) as pool:
                 return list(pool.map(run_shard, tasks))
         except (OSError, PicklingError, BrokenExecutor):
             # Pool infrastructure failure (no semaphores / fork restrictions /

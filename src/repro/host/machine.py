@@ -78,7 +78,7 @@ class RemoteHost:
     def deliver(self, packet: Packet) -> None:
         """Accept a packet arriving from the network and dispatch by protocol."""
         self.packets_delivered += 1
-        if packet.is_tcp():
+        if packet.tcp is not None:
             self.tcp.deliver(packet)
-        elif packet.is_icmp():
+        elif packet.icmp is not None:
             self.icmp.deliver(packet)

@@ -10,24 +10,26 @@ is the only interface the measurement techniques in :mod:`repro.core` use.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Iterable, Optional
+from typing import Callable, Iterable, NamedTuple, Optional
 
 from repro.net.errors import SimulationError
 from repro.net.packet import Packet
-from repro.sim.simulator import Simulator
+from repro.sim.simulator import Simulator, Waiter
 
 TransmitFn = Callable[[Packet], None]
 
 
-@dataclass(frozen=True, slots=True)
-class CapturedPacket:
+class CapturedPacket(NamedTuple):
     """A packet received by the probe host.
 
     ``serial`` is the capture sequence number: it preserves arrival order even
     when two packets carry identical simulated timestamps (for example after
     an adjacent swap performed at a single instant), so ordering decisions
     should compare serials rather than times.
+
+    A NamedTuple rather than a dataclass: one is constructed per captured
+    packet, and tuple construction is markedly cheaper than a frozen
+    dataclass's per-field ``object.__setattr__`` init.
     """
 
     time: float
@@ -51,6 +53,7 @@ class ProbeHost:
         self.address = address
         self._transmit: Optional[TransmitFn] = None
         self._received: list[CapturedPacket] = []
+        self._waiter = Waiter()
         self._next_port = first_port
         self.packets_sent = 0
 
@@ -82,6 +85,11 @@ class ProbeHost:
         self.packets_sent += 1
         self._transmit(packet)
 
+    @property
+    def capture_waiter(self) -> Waiter:
+        """The waiter woken on every capture (for predicates over captures)."""
+        return self._waiter
+
     def deliver(self, packet: Packet) -> None:
         """Record a packet arriving from the network (called by the topology)."""
         if packet.ip.dst != self.address:
@@ -89,6 +97,7 @@ class ProbeHost:
         self._received.append(
             CapturedPacket(time=self._sim.now, packet=packet, serial=len(self._received))
         )
+        self._waiter.wake()
 
     @property
     def received(self) -> tuple[CapturedPacket, ...]:
@@ -115,7 +124,9 @@ class ProbeHost:
     ) -> tuple[CapturedPacket, ...]:
         """Return captured TCP packets after ``cursor`` filtered by port / peer."""
         results = []
-        for captured in self._received[cursor:]:
+        received = self._received
+        for index in range(cursor, len(received)):
+            captured = received[index]
             packet = captured.packet
             if not packet.is_tcp():
                 continue
@@ -130,7 +141,9 @@ class ProbeHost:
     def icmp_packets_since(self, cursor: int, remote_addr: Optional[int] = None) -> tuple[CapturedPacket, ...]:
         """Return captured ICMP packets after ``cursor`` filtered by peer address."""
         results = []
-        for captured in self._received[cursor:]:
+        received = self._received
+        for index in range(cursor, len(received)):
+            captured = received[index]
             packet = captured.packet
             if not packet.is_icmp():
                 continue
@@ -158,18 +171,48 @@ class ProbeHost:
         """Run the simulator until ``count`` matching TCP packets arrive or timeout.
 
         Returns whatever matched, which may be fewer than ``count`` on
-        timeout — callers decide how to classify incomplete samples.
+        timeout — callers decide how to classify incomplete samples.  The wait
+        is event-driven: the predicate is re-evaluated only when a packet is
+        actually captured, not after every simulator event, and each check
+        scans only the packets captured since the previous check rather than
+        re-filtering the whole window.
         """
+        received = self._received
+        matched = 0
+        scan = cursor
 
         def _enough() -> bool:
-            return len(self.tcp_packets_since(cursor, local_port, remote_addr)) >= count
+            nonlocal matched, scan
+            end = len(received)
+            while scan < end:
+                packet = received[scan].packet
+                scan += 1
+                tcp = packet.tcp
+                if tcp is None:
+                    continue
+                if local_port is not None and tcp.dst_port != local_port:
+                    continue
+                if remote_addr is not None and packet.ip.src != remote_addr:
+                    continue
+                matched += 1
+            return matched >= count
 
-        self._sim.run_until(_enough, timeout=timeout)
+        self._sim.run_until(_enough, timeout=timeout, waiter=self._waiter)
         return self.tcp_packets_since(cursor, local_port, remote_addr)
 
-    def wait_for_predicate(self, predicate: Callable[[], bool], timeout: float) -> bool:
-        """Run the simulator until ``predicate`` holds or ``timeout`` elapses."""
-        return self._sim.run_until(predicate, timeout=timeout)
+    def wait_for_predicate(
+        self, predicate: Callable[[], bool], timeout: float, *, poll: bool = False
+    ) -> bool:
+        """Run the simulator until ``predicate`` holds or ``timeout`` elapses.
+
+        By default the wait is driven by the capture waiter, so ``predicate``
+        must depend only on the probe's capture buffer (true of every
+        measurement technique in :mod:`repro.core`).  Pass ``poll=True`` for a
+        predicate reading other simulated state; that restores the re-check-
+        after-every-event fallback.
+        """
+        waiter = None if poll else self._waiter
+        return self._sim.run_until(predicate, timeout=timeout, waiter=waiter)
 
     def wait_for_icmp(self, cursor: int, count: int, timeout: float, remote_addr: Optional[int] = None) -> tuple[CapturedPacket, ...]:
         """Run the simulator until ``count`` ICMP packets arrive or timeout."""
@@ -177,7 +220,7 @@ class ProbeHost:
         def _enough() -> bool:
             return len(self.icmp_packets_since(cursor, remote_addr)) >= count
 
-        self._sim.run_until(_enough, timeout=timeout)
+        self._sim.run_until(_enough, timeout=timeout, waiter=self._waiter)
         return self.icmp_packets_since(cursor, remote_addr)
 
     @staticmethod

@@ -44,6 +44,19 @@ TransmitFn = Callable[[Packet], None]
 DEFAULT_MSS = 1460
 RETRANSMIT_TIMEOUT = 1.0
 
+# Flag combinations used on the segment send/receive hot paths, built once:
+# every ``TcpFlags.X | TcpFlags.Y`` at runtime walks the IntFlag machinery to
+# construct a member, which showed up prominently in campaign profiles.
+_FLAGS_SYN_ACK = TcpFlags.SYN | TcpFlags.ACK
+_FLAGS_FIN_ACK = TcpFlags.FIN | TcpFlags.ACK
+_FLAGS_RST_ACK = TcpFlags.RST | TcpFlags.ACK
+_FLAGS_ACK_PSH = TcpFlags.ACK | TcpFlags.PSH
+_SYN = TcpFlags.SYN.value
+_ACK = TcpFlags.ACK.value
+_RST = TcpFlags.RST.value
+_FIN = TcpFlags.FIN.value
+_MSS_OPTIONS = (TcpOption.mss(DEFAULT_MSS),)
+
 
 class TcpState(enum.Enum):
     """Connection states the endpoint distinguishes."""
@@ -119,7 +132,11 @@ class TcpEndpoint:
         self._listen_ports = set(listen_ports)
         self._transmit: Optional[TransmitFn] = None
         self._on_data = on_data
-        self._connections: dict[FourTuple, TcpConnection] = {}
+        # Keyed by (peer addr, peer port, local port) plain tuples rather
+        # than FourTuple: the receive path looks a connection up per packet,
+        # and hashing three ints beats constructing + hashing a validated
+        # dataclass.  The local address is implied (it is this endpoint's).
+        self._connections: dict[tuple[int, int, int], TcpConnection] = {}
         self.packets_received = 0
         self.packets_sent = 0
         self.resets_sent = 0
@@ -138,7 +155,7 @@ class TcpEndpoint:
     @property
     def connections(self) -> dict[FourTuple, TcpConnection]:
         """Live connections keyed by the peer's four-tuple (read-only view)."""
-        return dict(self._connections)
+        return {connection.key: connection for connection in self._connections.values()}
 
     def set_transmit(self, transmit: TransmitFn) -> None:
         """Provide the function used to send packets toward the probe host."""
@@ -161,31 +178,35 @@ class TcpEndpoint:
         if packet.ip.dst != self.address:
             return
         self.packets_received += 1
-        key = packet.four_tuple()
-        connection = self._connections.get(key)
+        connection = self._connections.get((packet.ip.src, tcp.src_port, tcp.dst_port))
+        flags = int(tcp.flags)
 
-        if tcp.has(TcpFlags.RST):
+        if flags & _RST:
             if connection is not None:
                 self._close(connection)
             return
 
-        if tcp.has(TcpFlags.SYN) and not tcp.has(TcpFlags.ACK):
-            self._handle_syn(key, tcp, connection)
+        if flags & _SYN and not flags & _ACK:
+            self._handle_syn(packet.four_tuple(), tcp, connection)
             return
 
         if connection is None:
             # A non-SYN segment for an unknown connection: answer with RST so
             # misbehaving probes notice, as real stacks do.
             if tcp.dst_port in self._listen_ports:
-                self._send_reset(key, seq=tcp.ack, ack=seq_add(tcp.seq, len(packet.payload)))
+                self._send_reset(
+                    packet.four_tuple(),
+                    seq=tcp.ack,
+                    ack=seq_add(tcp.seq, len(packet.payload)),
+                )
             return
 
         connection.segments_received += 1
-        if tcp.has(TcpFlags.ACK):
+        if flags & _ACK:
             self._handle_ack(connection, tcp)
         if packet.payload:
             self._handle_data(connection, tcp, packet.payload)
-        if tcp.has(TcpFlags.FIN):
+        if flags & _FIN:
             self._handle_fin(connection, tcp, payload_length=len(packet.payload))
 
     def _handle_syn(self, key: FourTuple, tcp: TcpHeader, connection: Optional[TcpConnection]) -> None:
@@ -212,14 +233,14 @@ class TcpEndpoint:
             peer_mss=tcp.mss() or DEFAULT_MSS,
             advertised_window=self._profile.advertised_window,
         )
-        self._connections[key] = connection
+        self._connections[(key.src_addr, key.src_port, key.dst_port)] = connection
         self.connections_accepted += 1
         self._send_segment(
             connection,
-            flags=TcpFlags.SYN | TcpFlags.ACK,
+            flags=_FLAGS_SYN_ACK,
             seq=iss,
             ack=connection.rcv_nxt,
-            options=(TcpOption.mss(DEFAULT_MSS),),
+            options=_MSS_OPTIONS,
         )
 
     def _handle_second_syn(self, connection: TcpConnection, tcp: TcpHeader) -> None:
@@ -321,7 +342,7 @@ class TcpEndpoint:
             connection.rcv_nxt = seq_add(connection.rcv_nxt, 1)
         self._send_segment(
             connection,
-            flags=TcpFlags.FIN | TcpFlags.ACK,
+            flags=_FLAGS_FIN_ACK,
             seq=connection.snd_nxt,
             ack=connection.rcv_nxt,
         )
@@ -363,7 +384,7 @@ class TcpEndpoint:
             ident=self._stack.next_ipid(connection.key.src_addr),
         )
         self.packets_sent += 1
-        if flags & TcpFlags.ACK:
+        if int.__and__(flags, _ACK):
             connection.acks_sent += 1
         transmit(packet)
 
@@ -374,7 +395,7 @@ class TcpEndpoint:
             dst_port=key.src_port,
             seq=seq,
             ack=ack,
-            flags=TcpFlags.RST | TcpFlags.ACK,
+            flags=_FLAGS_RST_ACK,
             window=0,
         )
         packet = Packet.tcp_packet(
@@ -417,7 +438,8 @@ class TcpEndpoint:
         self._cancel_delayed_ack(connection)
         self._cancel_retransmit(connection)
         connection.state = TcpState.CLOSED
-        self._connections.pop(connection.key, None)
+        key = connection.key
+        self._connections.pop((key.src_addr, key.src_port, key.dst_port), None)
 
     # ------------------------------------------------------------------ #
     # Application data transfer (used by the web server)
@@ -444,7 +466,7 @@ class TcpEndpoint:
             payload = bytes(segment_size)
             self._send_segment(
                 connection,
-                flags=TcpFlags.ACK | TcpFlags.PSH,
+                flags=_FLAGS_ACK_PSH,
                 seq=connection.snd_nxt,
                 ack=connection.rcv_nxt,
                 payload=payload,
@@ -480,7 +502,7 @@ class TcpEndpoint:
         segment_size = min(connection.peer_mss, outstanding)
         self._send_segment(
             connection,
-            flags=TcpFlags.ACK | TcpFlags.PSH,
+            flags=_FLAGS_ACK_PSH,
             seq=connection.snd_una,
             ack=connection.rcv_nxt,
             payload=bytes(segment_size),

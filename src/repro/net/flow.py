@@ -42,14 +42,16 @@ class FourTuple:
     dst_port: int
 
     def __post_init__(self) -> None:
-        for name in ("src_addr", "dst_addr"):
-            addr = getattr(self, name)
-            if addr < 0 or addr > 0xFFFFFFFF:
-                raise ValueError(f"{name} out of range: {addr}")
-        for name in ("src_port", "dst_port"):
-            port = getattr(self, name)
-            if port < 0 or port > 0xFFFF:
-                raise ValueError(f"{name} out of range: {port}")
+        # Unrolled (no getattr loop): a FourTuple is built for every TCP
+        # packet an endpoint receives, so this runs on the campaign hot path.
+        if self.src_addr < 0 or self.src_addr > 0xFFFFFFFF:
+            raise ValueError(f"src_addr out of range: {self.src_addr}")
+        if self.dst_addr < 0 or self.dst_addr > 0xFFFFFFFF:
+            raise ValueError(f"dst_addr out of range: {self.dst_addr}")
+        if self.src_port < 0 or self.src_port > 0xFFFF:
+            raise ValueError(f"src_port out of range: {self.src_port}")
+        if self.dst_port < 0 or self.dst_port > 0xFFFF:
+            raise ValueError(f"dst_port out of range: {self.dst_port}")
 
     def reversed(self) -> "FourTuple":
         """Return the four-tuple of traffic flowing in the opposite direction."""

@@ -126,14 +126,16 @@ class TcpHeader:
     options: tuple[TcpOption, ...] = ()
 
     def __post_init__(self) -> None:
-        for name in ("src_port", "dst_port"):
-            port = getattr(self, name)
-            if not 0 <= port <= 0xFFFF:
-                raise ValueError(f"{name} out of range: {port}")
-        for name in ("seq", "ack"):
-            value = getattr(self, name)
-            if not 0 <= value <= 0xFFFFFFFF:
-                raise ValueError(f"{name} out of range: {value}")
+        # Unrolled (no getattr loop): TCP headers are built once per simulated
+        # packet, so construction cost is part of the campaign hot path.
+        if not 0 <= self.src_port <= 0xFFFF:
+            raise ValueError(f"src_port out of range: {self.src_port}")
+        if not 0 <= self.dst_port <= 0xFFFF:
+            raise ValueError(f"dst_port out of range: {self.dst_port}")
+        if not 0 <= self.seq <= 0xFFFFFFFF:
+            raise ValueError(f"seq out of range: {self.seq}")
+        if not 0 <= self.ack <= 0xFFFFFFFF:
+            raise ValueError(f"ack out of range: {self.ack}")
         if not 0 <= self.window <= 0xFFFF:
             raise ValueError(f"window out of range: {self.window}")
 
@@ -144,8 +146,13 @@ class TcpHeader:
         return TCP_HEADER_LEN + padded
 
     def has(self, flag: TcpFlags) -> bool:
-        """Return True when ``flag`` is set on this segment."""
-        return bool(self.flags & flag)
+        """Return True when ``flag`` is set on this segment.
+
+        Uses ``int.__and__`` directly rather than ``IntFlag.__and__``: enum
+        bitwise operators construct a new flag member per call, which made
+        this (extremely hot) check several times more expensive.
+        """
+        return int.__and__(self.flags, flag) != 0
 
     def find_option(self, kind: int) -> Optional[TcpOption]:
         """Return the first option of the given kind, or None."""
@@ -213,6 +220,8 @@ class Packet:
     icmp: Optional[IcmpEcho] = None
     payload: bytes = b""
     uid: int = field(default_factory=_next_packet_uid)
+    _total_length: Optional[int] = field(default=None, init=False, repr=False, compare=False)
+    _wire: Optional[bytes] = field(default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.tcp is not None and self.icmp is not None:
@@ -264,7 +273,16 @@ class Packet:
         return FourTuple(self.ip.src, self.tcp.src_port, self.ip.dst, self.tcp.dst_port)
 
     def total_length(self) -> int:
-        """Return the packet's total length in bytes as it would appear on the wire."""
+        """Return the packet's total length in bytes as it would appear on the wire.
+
+        The length is computed once and cached: headers are frozen and the
+        library treats packets as immutable after construction (middleboxes
+        rewrite via :meth:`with_ip`, which builds a new instance), so every
+        link and queue along a multi-hop path can reuse the same value.
+        """
+        length = self._total_length
+        if length is not None:
+            return length
         length = self.ip.header_length()
         if self.tcp is not None:
             length += self.tcp.header_length() + len(self.payload)
@@ -272,6 +290,7 @@ class Packet:
             length += self.icmp.header_length() + len(self.icmp.payload)
         else:
             length += len(self.payload)
+        self._total_length = length
         return length
 
     def with_ip(self, **changes: object) -> "Packet":
@@ -280,13 +299,18 @@ class Packet:
         The copy keeps the original ``uid`` so that ground-truth tracking
         survives header rewriting by middleboxes (e.g. TTL decrement).
         """
-        return Packet(
+        copy = Packet(
             ip=replace(self.ip, **changes),  # type: ignore[arg-type]
             tcp=self.tcp,
             icmp=self.icmp,
             payload=self.payload,
             uid=self.uid,
         )
+        # IP header rewrites never change the packet's length (no IP options
+        # are modelled), so the cached length survives; cached wire bytes do
+        # not, because the rewritten fields are serialized.
+        copy._total_length = self._total_length
+        return copy
 
     def clone(self) -> "Packet":
         """Return a copy of this packet with a fresh ``uid`` (a re-send, not a forward)."""

@@ -69,7 +69,24 @@ def _parse_options(raw: bytes) -> tuple[TcpOption, ...]:
 
 
 def serialize_packet(packet: Packet) -> bytes:
-    """Serialize a packet model to on-the-wire bytes with valid checksums."""
+    """Serialize a packet model to on-the-wire bytes with valid checksums.
+
+    Serialization is lazy and cached on the packet: the first call does the
+    work, repeat calls (trace persistence, round-trip tests, corruption
+    models re-reading the same packet) return the same ``bytes`` object.
+    The cache is sound because headers are frozen and packets are treated as
+    immutable after construction — every rewrite path
+    (:meth:`~repro.net.packet.Packet.with_ip`, ``clone``) builds a new
+    instance with an empty cache.
+    """
+    cached = packet._wire
+    if cached is not None:
+        return cached
+    packet._wire = wire = _serialize_packet_uncached(packet)
+    return wire
+
+
+def _serialize_packet_uncached(packet: Packet) -> bytes:
     if packet.tcp is not None:
         transport = _serialize_tcp(packet)
     elif packet.icmp is not None:

@@ -84,6 +84,15 @@ class ConditionTemplate(ABC):
     directions: tuple[str, ...] = (FORWARD,)
     """Which path directions receive the element (``"forward"``/``"reverse"``)."""
 
+    time_varying = False
+    """True when the materialised element's behaviour depends on *absolute*
+    simulated time (diurnal cycles, scheduled flaps, clocked loss episodes).
+    Such conditions are exempt from shard-count invariance: a sharded
+    campaign visits each host at a layout-dependent simulated time, so a
+    time-varying path may legitimately measure differently — the same
+    exception class as port-hashing load balancers (see
+    :mod:`repro.core.runner`)."""
+
     def validate(self) -> None:
         if not 0.0 <= self.fraction <= 1.0:
             raise SimulationError(f"condition fraction out of range: {self.fraction}")
@@ -109,6 +118,8 @@ class ConditionTemplate(ABC):
 class BurstyLossCondition(ConditionTemplate):
     """Gilbert–Elliott on/off loss: long quiet stretches, dense loss episodes."""
 
+    time_varying = True
+
     good_loss: float = 0.0
     bad_loss: tuple[float, float] = (0.2, 0.5)
     p_good_to_bad: tuple[float, float] = (0.002, 0.012)
@@ -127,6 +138,8 @@ class BurstyLossCondition(ConditionTemplate):
 @dataclass(frozen=True, slots=True)
 class RouteFlapCondition(ConditionTemplate):
     """Reordering spikes during randomly timed route-flap episodes."""
+
+    time_varying = True
 
     base_swap_probability: tuple[float, float] = (0.0, 0.02)
     flap_swap_probability: tuple[float, float] = (0.2, 0.45)
@@ -151,6 +164,8 @@ class DiurnalCongestionCondition(ConditionTemplate):
     compresses a "day" far below 86 400 s to keep peak and trough both
     observable within one campaign.
     """
+
+    time_varying = True
 
     peak_jitter: tuple[float, float] = (0.5e-3, 3e-3)
     period: tuple[float, float] = (120.0, 360.0)
@@ -181,6 +196,16 @@ class NetworkScenario:
             raise SimulationError("scenario needs a non-empty name")
         for condition in self.conditions:
             condition.validate()
+
+    def is_time_varying(self) -> bool:
+        """True when any condition's behaviour depends on absolute simulated time.
+
+        Time-varying scenarios are reproducible for a fixed shard layout but
+        are *not* shard-count invariant: shard composition determines when
+        (in simulated time) each host is visited, and a diurnal cycle or a
+        scheduled flap answers differently at different times.
+        """
+        return any(condition.time_varying for condition in self.conditions)
 
     def with_population(self, **overrides) -> "NetworkScenario":
         """Return a copy whose population parameters are selectively replaced."""

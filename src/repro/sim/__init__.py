@@ -35,7 +35,7 @@ from repro.sim.reorder import (
     LossElement,
     PassthroughElement,
 )
-from repro.sim.simulator import Simulator
+from repro.sim.simulator import Simulator, Waiter
 from repro.sim.striping import StripedPathModel
 from repro.sim.timevary import (
     DiurnalCongestionElement,
@@ -78,6 +78,7 @@ __all__ = [
     "TraceCapture",
     "TraceRecord",
     "TraceSpec",
+    "Waiter",
     "build_elements",
     "build_pipeline",
 ]

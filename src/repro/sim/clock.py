@@ -1,7 +1,13 @@
 """The simulated clock.
 
 All timestamps in the library are floating-point seconds of simulated time.
-The clock only ever moves forward; the event loop is the sole writer.
+The clock only ever moves forward.
+
+Since the PR 3 hot-path overhaul :class:`~repro.sim.simulator.Simulator`
+tracks time in a plain float (reading the clock through two property hops
+per event was measurable), so :class:`SimClock` is no longer on the event
+loop's path.  It remains exported as the standalone monotonic-clock utility
+for tools that want the forward-only invariant enforced for them.
 """
 
 from __future__ import annotations

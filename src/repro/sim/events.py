@@ -3,43 +3,79 @@
 Events are ordered by (time, insertion sequence) so that simultaneous events
 fire in the order they were scheduled, which keeps runs fully deterministic
 for a given seed.
+
+The heap itself stores plain ``(time, sequence, event)`` tuples rather than
+rich comparable objects: tuple comparison is implemented in C and never calls
+back into Python, which makes push/pop substantially cheaper than ordering
+dataclass instances.  The :class:`Event` returned to callers is a slotted
+cancellation handle riding along in the tuple's third slot (never compared,
+because ``sequence`` is unique).
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.net.errors import SimulationError
 
 EventCallback = Callable[[], None]
 
+# Event lifecycle states.  An event is counted by ``EventQueue.__len__`` only
+# while PENDING; the transitions PENDING->FIRED (on pop) and
+# PENDING->CANCELLED (on cancel) each decrement the live count exactly once,
+# which is what makes ``cancel`` idempotent and safe to call on an event that
+# already fired.
+_PENDING = 0
+_FIRED = 1
+_CANCELLED = 2
 
-@dataclass(order=True)
+
 class Event:
-    """A scheduled callback.
+    """A scheduled callback: the cancellation handle returned by ``push``.
 
-    ``cancelled`` events stay in the heap but are skipped when popped, which
+    Cancelled events stay in the heap but are skipped when popped, which
     makes cancellation O(1) — the standard lazy-deletion trick.
     """
 
-    time: float
-    sequence: int
-    callback: EventCallback = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "sequence", "callback", "_state", "_queue")
+
+    def __init__(self, time: float, sequence: int, callback: EventCallback,
+                 queue: Optional["EventQueue"] = None) -> None:
+        self.time = time
+        self.sequence = sequence
+        self.callback = callback
+        self._state = _PENDING
+        self._queue = queue
+
+    @property
+    def cancelled(self) -> bool:
+        """True once this event has been cancelled (fired events stay False)."""
+        return self._state == _CANCELLED
 
     def cancel(self) -> None:
-        """Mark this event so the event loop skips it."""
-        self.cancelled = True
+        """Mark this event so the event loop skips it (idempotent).
+
+        Safe to call at any point in the event's life: cancelling an event
+        that already fired (or was already cancelled) is a no-op, so the
+        queue's live count never goes negative.
+        """
+        if self._state == _PENDING:
+            self._state = _CANCELLED
+            if self._queue is not None:
+                self._queue._live -= 1
+
+    def __repr__(self) -> str:
+        state = {_PENDING: "pending", _FIRED: "fired", _CANCELLED: "cancelled"}[self._state]
+        return f"Event(time={self.time!r}, sequence={self.sequence}, {state})"
 
 
 class EventQueue:
-    """A deterministic min-heap of :class:`Event` objects."""
+    """A deterministic min-heap of ``(time, sequence, Event)`` tuples."""
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, Event]] = []
         self._counter = itertools.count()
         self._live = 0
 
@@ -54,33 +90,53 @@ class EventQueue:
         """Schedule ``callback`` at absolute simulated ``time`` and return the event."""
         if time < 0.0:
             raise SimulationError(f"cannot schedule an event before time zero: {time}")
-        event = Event(time=time, sequence=next(self._counter), callback=callback)
-        heapq.heappush(self._heap, event)
+        event = Event(time, next(self._counter), callback, self)
+        heapq.heappush(self._heap, (time, event.sequence, event))
         self._live += 1
         return event
 
     def cancel(self, event: Event) -> None:
-        """Cancel a previously pushed event (idempotent)."""
-        if not event.cancelled:
-            event.cancel()
-            self._live -= 1
+        """Cancel a previously pushed event (idempotent, safe after it fired)."""
+        event.cancel()
 
     def peek_time(self) -> Optional[float]:
         """Return the firing time of the next live event, or None when empty."""
-        self._discard_cancelled()
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][2]._state == _CANCELLED:
+            heapq.heappop(heap)
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]
 
     def pop(self) -> Optional[Event]:
         """Remove and return the next live event, or None when empty."""
-        self._discard_cancelled()
-        if not self._heap:
-            return None
-        event = heapq.heappop(self._heap)
-        self._live -= 1
-        return event
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[2]
+            if event._state == _PENDING:
+                event._state = _FIRED
+                self._live -= 1
+                return event
+        return None
 
-    def _discard_cancelled(self) -> None:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+    def pop_due(self, deadline: float) -> Optional[Event]:
+        """Pop the next live event firing at or before ``deadline``, else None.
+
+        A single-pass alternative to ``peek_time()`` followed by ``pop()``:
+        the run loops call this once per event instead of walking the heap
+        head twice.
+        """
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            event = head[2]
+            if event._state == _CANCELLED:
+                heapq.heappop(heap)
+                continue
+            if head[0] > deadline:
+                return None
+            heapq.heappop(heap)
+            event._state = _FIRED
+            self._live -= 1
+            return event
+        return None

@@ -8,6 +8,7 @@ probe packets, so downstream queue imbalance is less likely to invert them.
 
 from __future__ import annotations
 
+from repro.net.errors import SimulationError
 from repro.net.packet import Packet
 from repro.sim.path import PathElement
 
@@ -45,10 +46,19 @@ class Link(PathElement):
         return packet.total_length() * BITS_PER_BYTE / self.bandwidth_bps
 
     def handle_packet(self, packet: Packet) -> None:
-        now = self.sim.now
-        start = max(now, self._busy_until)
-        departure = start + self.transmission_time(packet)
+        sim = self._sim
+        if sim is None:
+            raise SimulationError("Link used before attach()")
+        now = sim.now
+        start = self._busy_until
+        if now > start:
+            start = now
+        length = packet.total_length()
+        if self.bandwidth_bps is None:
+            departure = start
+        else:
+            departure = start + length * BITS_PER_BYTE / self.bandwidth_bps
         self._busy_until = departure
         self.packets_carried += 1
-        self.bytes_carried += packet.total_length()
+        self.bytes_carried += length
         self._emit_at(departure + self.propagation_delay, packet)

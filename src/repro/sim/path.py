@@ -53,23 +53,35 @@ class PathElement(ABC):
 
     def _emit(self, packet: Packet) -> None:
         """Deliver ``packet`` to the downstream sink immediately."""
-        if self._downstream is None:
+        downstream = self._downstream
+        if downstream is None:
             raise SimulationError(f"{type(self).__name__} has no downstream sink")
-        self._downstream(packet)
+        downstream(packet)
 
     def _emit_after(self, delay: float, packet: Packet) -> None:
         """Deliver ``packet`` downstream after ``delay`` seconds."""
+        downstream = self._downstream
+        if downstream is None:
+            raise SimulationError(f"{type(self).__name__} has no downstream sink")
         if delay <= 0.0:
-            self._emit(packet)
+            downstream(packet)
             return
-        self.sim.schedule(delay, lambda: self._emit(packet))
+        # The downstream callable is bound into the closure now, so the
+        # deferred delivery skips the attach check when it fires.
+        self.sim.schedule(delay, lambda: downstream(packet))
 
     def _emit_at(self, when: float, packet: Packet) -> None:
         """Deliver ``packet`` downstream at absolute simulated time ``when``."""
-        if when <= self.sim.now:
-            self._emit(packet)
+        downstream = self._downstream
+        sim = self._sim
+        if downstream is None or sim is None:
+            raise SimulationError(f"{type(self).__name__} used before attach()")
+        if when <= sim.now:
+            downstream(packet)
             return
-        self.sim.schedule_at(when, lambda: self._emit(packet))
+        # ``when > now`` already holds on this branch, so skip schedule_at's
+        # validation — this runs once per delayed packet-hop.
+        sim.schedule_at_unchecked(when, lambda: downstream(packet))
 
 
 class Pipeline:
@@ -79,6 +91,7 @@ class Pipeline:
         self._elements: list[PathElement] = list(elements)
         self._sink: Optional[PacketSink] = None
         self._sim: Optional[Simulator] = None
+        self._entry: Optional[PacketSink] = None
 
     @property
     def elements(self) -> tuple[PathElement, ...]:
@@ -99,15 +112,17 @@ class Pipeline:
         for element in reversed(self._elements):
             element.attach(sim, downstream)
             downstream = element.handle_packet
+        # After the loop ``downstream`` is the upstream-most handler (or the
+        # bare sink for an empty pipeline); bind it once so per-packet
+        # injection is a single call.
+        self._entry = downstream
 
     def handle_packet(self, packet: Packet) -> None:
         """Inject a packet at the upstream end of the pipeline."""
-        if self._sink is None:
+        entry = self._entry
+        if entry is None:
             raise SimulationError("pipeline used before attach()")
-        if self._elements:
-            self._elements[0].handle_packet(packet)
-        else:
-            self._sink(packet)
+        entry(packet)
 
 
 class DuplexPath:

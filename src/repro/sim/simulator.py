@@ -4,15 +4,54 @@ The measurement techniques are written in a simple blocking style: send some
 packets, then ``run_until`` a reply (or a timeout) arrives.  Because the event
 loop is deterministic and single-threaded, this gives reproducible experiments
 without coroutine machinery.
+
+Waiters
+-------
+``run_until`` supports two wait disciplines.  The polling fallback evaluates
+the predicate after *every* event, which is always correct but wastes work
+when most events (link departures, timer pops on other connections) cannot
+possibly change the predicate's value.  The event-driven discipline takes a
+:class:`Waiter`: endpoints call :meth:`Waiter.wake` when they mutate the
+state the predicate reads (e.g. the probe host wakes its waiter on every
+capture), and the loop re-evaluates the predicate only after a wake.  Both
+disciplines stop on exactly the same event, so simulated clocks — and
+therefore every recorded measurement — are bit-for-bit identical; only the
+number of predicate evaluations differs.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.net.errors import SimulationError
-from repro.sim.clock import SimClock
+from repro.net.errors import ClockError, SimulationError
 from repro.sim.events import Event, EventQueue
+
+
+class Waiter:
+    """A wake flag connecting a state-owning endpoint to ``run_until``.
+
+    The endpoint calls :meth:`wake` whenever the state a waiting predicate
+    might read has changed; the event loop calls :meth:`consume` after each
+    event and only re-evaluates the predicate when a wake happened.  A waiter
+    may be shared by any number of sequential waits (the probe host keeps one
+    for its whole capture buffer).
+    """
+
+    __slots__ = ("_signaled",)
+
+    def __init__(self) -> None:
+        self._signaled = False
+
+    def wake(self) -> None:
+        """Signal that predicate-visible state has changed."""
+        self._signaled = True
+
+    def consume(self) -> bool:
+        """Return True (and reset) when a wake happened since the last call."""
+        if self._signaled:
+            self._signaled = False
+            return True
+        return False
 
 
 class Simulator:
@@ -25,14 +64,15 @@ class Simulator:
     """
 
     def __init__(self, start_time: float = 0.0) -> None:
-        self._clock = SimClock(start_time)
+        if start_time < 0.0:
+            raise ClockError(f"clock cannot start before zero: {start_time}")
+        self.now = float(start_time)
+        """Current simulated time in seconds.  A plain attribute rather than a
+        property: it is read on every packet hop and every event, and the
+        descriptor dispatch was measurable.  Treat it as read-only — the run
+        loops are the only writers."""
         self._events = EventQueue()
         self._processed = 0
-
-    @property
-    def now(self) -> float:
-        """Current simulated time in seconds."""
-        return self._clock.now
 
     @property
     def pending_events(self) -> int:
@@ -56,60 +96,97 @@ class Simulator:
             raise SimulationError(f"cannot schedule in the past: {when} < {self.now}")
         return self._events.push(when, callback)
 
+    def schedule_at_unchecked(self, when: float, callback: Callable[[], None]) -> Event:
+        """:meth:`schedule_at` without the not-in-the-past validation.
+
+        For hot-path callers (per-packet link departures) that have already
+        established ``when > now`` on their own branch; the event queue's
+        non-negative-time check still applies.
+        """
+        return self._events.push(when, callback)
+
     def cancel(self, event: Event) -> None:
-        """Cancel a previously scheduled event."""
-        self._events.cancel(event)
+        """Cancel a previously scheduled event (idempotent, safe after it fired)."""
+        event.cancel()
 
     def step(self) -> bool:
         """Execute the next event.  Return False when the queue is empty."""
         event = self._events.pop()
         if event is None:
             return False
-        self._clock.advance_to(event.time)
+        self.now = event.time
         self._processed += 1
         event.callback()
         return True
 
     def run_until_idle(self, max_time: Optional[float] = None) -> None:
-        """Run until no events remain, or until simulated time exceeds ``max_time``."""
+        """Run until no events remain, or until simulated time would pass ``max_time``.
+
+        Events landing exactly *at* ``max_time`` still fire (the deadline is
+        inclusive, matching :meth:`run_until_time`), and when ``max_time`` is
+        given the clock always finishes there — even if the queue drained
+        earlier — so a bounded idle run leaves time in a deterministic place.
+        Without ``max_time`` the clock stops at the last event executed.
+        """
+        events = self._events
+        if max_time is None:
+            while True:
+                event = events.pop()
+                if event is None:
+                    return
+                self.now = event.time
+                self._processed += 1
+                event.callback()
+        if max_time < self.now:
+            raise SimulationError(f"max_time is in the past: {max_time} < {self.now}")
         while True:
-            next_time = self._events.peek_time()
-            if next_time is None:
+            event = events.pop_due(max_time)
+            if event is None:
+                self.now = max_time
                 return
-            if max_time is not None and next_time > max_time:
-                self._clock.advance_to(max_time)
-                return
-            self.step()
+            self.now = event.time
+            self._processed += 1
+            event.callback()
 
     def run_for(self, duration: float) -> None:
         """Run for ``duration`` seconds of simulated time."""
         if duration < 0.0:
             raise SimulationError(f"duration cannot be negative: {duration}")
-        deadline = self.now + duration
-        self.run_until_time(deadline)
+        self.run_until_time(self.now + duration)
 
     def run_until_time(self, deadline: float) -> None:
         """Run all events up to and including ``deadline``, then set the clock there."""
         if deadline < self.now:
             raise SimulationError(f"deadline is in the past: {deadline} < {self.now}")
+        events = self._events
         while True:
-            next_time = self._events.peek_time()
-            if next_time is None or next_time > deadline:
-                self._clock.advance_to(deadline)
+            event = events.pop_due(deadline)
+            if event is None:
+                self.now = deadline
                 return
-            self.step()
+            self.now = event.time
+            self._processed += 1
+            event.callback()
 
     def run_until(
         self,
         predicate: Callable[[], bool],
         timeout: float,
         check_interval: Optional[float] = None,
+        waiter: Optional[Waiter] = None,
     ) -> bool:
         """Run until ``predicate()`` becomes true or ``timeout`` seconds elapse.
 
-        The predicate is evaluated after every event (and immediately on
-        entry), so it observes every intermediate state.  Returns True when
-        the predicate fired, False on timeout.
+        Returns True when the predicate fired, False on timeout.  The
+        predicate is always evaluated on entry and once more at the deadline.
+
+        With no ``waiter`` the predicate is re-evaluated after every event,
+        so it observes every intermediate state.  With a ``waiter`` it is
+        re-evaluated only after events that called :meth:`Waiter.wake` —
+        callers must guarantee the predicate's value can only change when the
+        waiter is woken (the probe host's capture waiter satisfies this for
+        any predicate over captured packets).  Both disciplines stop the
+        clock on exactly the same event.
 
         ``check_interval`` is accepted for API symmetry with wall-clock
         pollers but is unused: in a discrete-event world state only changes
@@ -121,14 +198,33 @@ class Simulator:
         deadline = self.now + timeout
         if predicate():
             return True
+        events = self._events
+        if waiter is None:
+            while True:
+                event = events.pop_due(deadline)
+                if event is None:
+                    self.now = deadline
+                    return predicate()
+                self.now = event.time
+                self._processed += 1
+                event.callback()
+                if predicate():
+                    return True
+        # The wake flag is read inline (same module) — one attribute test per
+        # event instead of a method call.
+        waiter._signaled = False  # Entry check above already observed current state.
         while True:
-            next_time = self._events.peek_time()
-            if next_time is None or next_time > deadline:
-                self._clock.advance_to(deadline)
+            event = events.pop_due(deadline)
+            if event is None:
+                self.now = deadline
                 return predicate()
-            self.step()
-            if predicate():
-                return True
+            self.now = event.time
+            self._processed += 1
+            event.callback()
+            if waiter._signaled:
+                waiter._signaled = False
+                if predicate():
+                    return True
 
     def __repr__(self) -> str:
         return (

@@ -32,34 +32,45 @@ class TraceRecord:
 
 
 class TraceCapture(PathElement):
-    """Records every packet passing through it, then forwards it unchanged."""
+    """Records every packet passing through it, then forwards it unchanged.
+
+    The capture hot path appends a plain ``(time, packet)`` tuple;
+    :class:`TraceRecord` objects are materialised lazily by the ``records``
+    accessor, so forwarding cost stays minimal on paths that are traced but
+    whose traces are never analysed (every survey path has a capture point).
+    """
 
     def __init__(self, point: str = "capture") -> None:
         super().__init__()
         self.point = point
-        self._records: list[TraceRecord] = []
+        self._entries: list[tuple[float, Packet]] = []
+        self._append = self._entries.append
 
     def handle_packet(self, packet: Packet) -> None:
-        self._records.append(TraceRecord(time=self.sim.now, packet=packet, point=self.point))
+        self._append((self.sim.now, packet))
         self._emit(packet)
 
     @property
     def records(self) -> tuple[TraceRecord, ...]:
         """All captured records in arrival order."""
-        return tuple(self._records)
+        point = self.point
+        return tuple(
+            TraceRecord(time=time, packet=packet, point=point)
+            for time, packet in self._entries
+        )
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._entries)
 
     def clear(self) -> None:
         """Discard all captured records (e.g. between validation runs)."""
-        self._records.clear()
+        self._entries.clear()
 
     def arrival_time(self, uid: int) -> Optional[float]:
         """Return the first arrival time of the packet with the given ``uid``."""
-        for record in self._records:
-            if record.packet.uid == uid:
-                return record.time
+        for time, packet in self._entries:
+            if packet.uid == uid:
+                return time
         return None
 
     def arrival_order(self, uids: Iterable[int]) -> list[int]:
@@ -67,8 +78,8 @@ class TraceCapture(PathElement):
         wanted = set(uids)
         ordered: list[int] = []
         seen: set[int] = set()
-        for record in self._records:
-            uid = record.packet.uid
+        for _time, packet in self._entries:
+            uid = packet.uid
             if uid in wanted and uid not in seen:
                 ordered.append(uid)
                 seen.add(uid)
@@ -92,4 +103,4 @@ class TraceCapture(PathElement):
 
     def describe(self) -> str:
         """Return the whole trace as a multi-line string (for debugging)."""
-        return "\n".join(record.describe() for record in self._records)
+        return "\n".join(record.describe() for record in self.records)

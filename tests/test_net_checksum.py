@@ -3,8 +3,15 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.net.checksum import internet_checksum, pseudo_header_sum, verify_checksum
+from repro.net.checksum import (
+    internet_checksum,
+    pseudo_header_sum,
+    reference_checksum,
+    verify_checksum,
+)
 
 
 def test_known_rfc1071_example():
@@ -53,3 +60,25 @@ def test_checksum_range():
     for length in range(0, 64):
         value = internet_checksum(bytes(range(length % 256)) * 1)
         assert 0 <= value <= 0xFFFF
+
+
+# --------------------------------------------------------------------- #
+# Fast word-at-a-time path vs. the byte-at-a-time reference oracle.
+# --------------------------------------------------------------------- #
+
+
+@given(st.binary(max_size=512), st.integers(min_value=0, max_value=0xFFFF))
+@settings(max_examples=300, deadline=None)
+def test_fast_checksum_matches_reference_oracle(data, initial):
+    assert internet_checksum(data, initial=initial) == reference_checksum(data, initial=initial)
+
+
+def test_fast_checksum_matches_reference_on_edge_lengths():
+    for length in (0, 1, 2, 3, 15, 16, 17, 255, 256, 1499, 1500):
+        data = bytes((i * 37) & 0xFF for i in range(length))
+        assert internet_checksum(data) == reference_checksum(data)
+
+
+def test_reference_oracle_rejects_bad_initial_sum_too():
+    with pytest.raises(ValueError):
+        reference_checksum(b"\x00", initial=-1)

@@ -148,6 +148,15 @@ def test_t_quantile_inverts_cdf(probability, dof):
 scenario_name_strategy = st.sampled_from(scenario_names())
 seed_strategy = st.integers(min_value=0, max_value=2**31 - 1)
 
+# Shard-count invariance only holds for scenarios whose path behaviour does
+# not depend on absolute simulated time: shard layout determines *when* each
+# host is visited, so a diurnal cycle or scheduled flap can legitimately
+# measure differently across shard counts (same exception class as
+# port-hashing load balancers — see repro.core.runner).
+time_invariant_scenario_strategy = st.sampled_from(
+    [name for name in scenario_names() if not get_scenario(name).is_time_varying()]
+)
+
 _TINY_CONFIG = CampaignConfig(
     rounds=1,
     samples_per_measurement=3,
@@ -197,12 +206,13 @@ def test_scenario_packet_traces_are_identical_across_rebuilds(name, seed):
     assert trace_content() == first
 
 
-@given(scenario_name_strategy, seed_strategy, st.integers(min_value=2, max_value=4))
+@given(time_invariant_scenario_strategy, seed_strategy, st.integers(min_value=2, max_value=4))
 @settings(max_examples=5, deadline=None)
 def test_scenario_campaign_records_identical_across_shard_counts(name, seed, shards):
     # LB backend selection hashes ephemeral ports, which legitimately depend
     # on shard layout (see repro.core.runner), so shard-count invariance is
-    # asserted on an LB-free variant of each scenario.
+    # asserted on an LB-free variant of each scenario.  Time-varying
+    # scenarios are excluded entirely (see time_invariant_scenario_strategy).
     scenario = get_scenario(name).with_population(num_hosts=5, load_balanced_fraction=0.0)
     hosts = build_scenario_hosts(scenario, seed=seed)
 

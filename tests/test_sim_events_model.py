@@ -1,0 +1,164 @@
+"""Property tests: the tuple-heap event queue against a naive model.
+
+The :class:`~repro.sim.events.EventQueue` stores ``(time, seq, handle)``
+tuples in a lazy-deletion heap.  These tests drive it with arbitrary
+interleavings of push / cancel / pop / peek operations and compare every
+observable against a brutally simple model — a sorted list with eager
+deletion — so ordering, cancellation, live counting, and ``peek_time`` can
+never drift from the obvious semantics.  A final test asserts whole
+simulator runs are schedule-order deterministic under interleaved cancels.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.events import EventQueue
+from repro.sim.simulator import Simulator
+
+
+class ModelQueue:
+    """Eager-deletion reference model: a sorted list of (time, seq) keys."""
+
+    def __init__(self) -> None:
+        self._entries: list[tuple[float, int]] = []
+        self._seq = 0
+
+    def push(self, time: float) -> tuple[float, int]:
+        key = (time, self._seq)
+        self._seq += 1
+        self._entries.append(key)
+        self._entries.sort()
+        return key
+
+    def cancel(self, key: tuple[float, int]) -> None:
+        if key in self._entries:
+            self._entries.remove(key)
+
+    def pop(self):
+        if not self._entries:
+            return None
+        return self._entries.pop(0)
+
+    def peek_time(self):
+        return self._entries[0][0] if self._entries else None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+# An operation schedule: each element either pushes at a time drawn from a
+# small float range (collisions on purpose, to exercise insertion-order
+# tie-breaks) or references an earlier event by index for cancel/pop.
+op_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), st.floats(min_value=0.0, max_value=4.0, width=16)),
+        st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=60)),
+        st.tuples(st.just("pop"), st.just(0)),
+        st.tuples(st.just("peek"), st.just(0)),
+    ),
+    max_size=80,
+)
+
+
+@given(op_strategy)
+@settings(max_examples=200, deadline=None)
+def test_tuple_heap_matches_naive_sorted_model(ops):
+    queue = EventQueue()
+    model = ModelQueue()
+    events = []  # real events, in push order
+    keys = []  # model keys, in push order
+
+    for op, arg in ops:
+        if op == "push":
+            events.append(queue.push(arg, lambda: None))
+            keys.append(model.push(arg))
+        elif op == "cancel" and events:
+            index = arg % len(events)
+            queue.cancel(events[index])
+            model.cancel(keys[index])
+        elif op == "pop":
+            event = queue.pop()
+            expected = model.pop()
+            if expected is None:
+                assert event is None
+            else:
+                assert event is not None
+                assert (event.time, event.sequence) == expected
+        elif op == "peek":
+            assert queue.peek_time() == model.peek_time()
+        assert len(queue) == len(model)
+        assert queue.is_empty() == (len(model) == 0)
+
+    # Drain: remaining live events must come out in exact model order.
+    while True:
+        event = queue.pop()
+        expected = model.pop()
+        if expected is None:
+            assert event is None
+            break
+        assert event is not None
+        assert (event.time, event.sequence) == expected
+
+
+@given(op_strategy)
+@settings(max_examples=100, deadline=None)
+def test_cancel_never_corrupts_live_count(ops):
+    """Cancels aimed at popped, cancelled, and pending events in any order
+    keep the live count equal to the model's (and never negative)."""
+    queue = EventQueue()
+    model = ModelQueue()
+    events = []
+    keys = []
+    for op, arg in ops:
+        if op == "push":
+            events.append(queue.push(arg, lambda: None))
+            keys.append(model.push(arg))
+        elif op == "cancel" and events:
+            index = arg % len(events)
+            queue.cancel(events[index])
+            model.cancel(keys[index])
+        elif op == "pop":
+            queue.pop()
+            model.pop()
+        assert len(queue) == len(model) >= 0
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=2.0, width=16),
+            st.booleans(),
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_simulator_schedule_order_deterministic_under_interleaved_cancels(plan):
+    """Two simulators fed the same schedule (with the same subset cancelled
+    mid-flight) execute identical (time, label) sequences."""
+
+    def run() -> list[tuple[float, int]]:
+        sim = Simulator()
+        fired: list[tuple[float, int]] = []
+        handles = []
+        for label, (delay, _cancel) in enumerate(plan):
+            handles.append(
+                sim.schedule(delay, lambda label=label: fired.append((sim.now, label)))
+            )
+        for handle, (_delay, cancel) in zip(handles, plan):
+            if cancel:
+                sim.cancel(handle)
+        sim.run_until_idle()
+        return fired
+
+    first = run()
+    second = run()
+    assert first == second
+    cancelled_labels = {label for label, (_d, cancel) in enumerate(plan) if cancel}
+    assert all(label not in cancelled_labels for _time, label in first)
+    # Events fire in (time, insertion order): the label sequence must be
+    # sorted by (time, label) because labels are assigned in push order.
+    assert first == sorted(first, key=lambda item: (item[0], item[1]))

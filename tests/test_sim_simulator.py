@@ -7,7 +7,7 @@ import pytest
 from repro.net.errors import ClockError, SimulationError
 from repro.sim.clock import SimClock
 from repro.sim.events import EventQueue
-from repro.sim.simulator import Simulator
+from repro.sim.simulator import Simulator, Waiter
 
 
 def test_clock_moves_forward_only():
@@ -112,3 +112,117 @@ def test_cancel_scheduled_event_via_simulator():
     sim.cancel(event)
     sim.run_until_idle()
     assert not fired
+
+
+def test_cancel_after_pop_does_not_corrupt_live_count():
+    """Regression: cancelling an already-popped event used to double-decrement
+    the live count, driving it negative and making is_empty() lie."""
+    queue = EventQueue()
+    popped = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    assert queue.pop() is popped
+    queue.cancel(popped)  # fired already: must be a no-op
+    queue.cancel(popped)  # and idempotent
+    assert len(queue) == 1
+    assert not queue.is_empty()
+    remaining = queue.pop()
+    assert remaining is not None and remaining.time == 2.0
+    assert len(queue) == 0
+    assert queue.is_empty()
+
+
+def test_cancel_is_idempotent_on_pending_events():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    queue.cancel(event)
+    queue.cancel(event)
+    assert len(queue) == 1
+
+
+def test_cancel_after_fire_via_simulator_keeps_queue_consistent():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(0.5, lambda: fired.append("a"))
+    sim.schedule(1.0, lambda: fired.append("b"))
+    sim.run_for(0.6)
+    sim.cancel(event)  # already fired: no-op
+    assert sim.pending_events == 1
+    sim.run_until_idle()
+    assert fired == ["a", "b"]
+
+
+def test_run_until_time_fires_event_exactly_at_deadline():
+    """Tie-break: the deadline is inclusive, and the clock finishes there."""
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(sim.now))
+    sim.run_until_time(1.0)
+    assert fired == [1.0]
+    assert sim.now == 1.0
+
+
+def test_run_until_idle_fires_event_exactly_at_max_time_and_parks_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(sim.now))
+    sim.schedule(2.0, lambda: fired.append(sim.now))
+    sim.run_until_idle(max_time=1.0)
+    assert fired == [1.0]
+    assert sim.now == 1.0
+    assert sim.pending_events == 1
+
+
+def test_run_until_idle_with_max_time_advances_clock_when_queue_drains_early():
+    """Consistency: a bounded idle run always finishes at max_time, exactly
+    like run_until_time, even when the last event lands before the deadline."""
+    sim = Simulator()
+    sim.schedule(0.25, lambda: None)
+    sim.run_until_idle(max_time=2.0)
+    assert sim.now == 2.0
+
+
+def test_run_until_predicate_with_waiter_matches_polling():
+    """The waiter discipline must stop on exactly the same event as polling."""
+
+    def build() -> tuple[Simulator, Waiter, dict]:
+        sim = Simulator()
+        waiter = Waiter()
+        state = {"hits": 0}
+        sim.schedule(0.2, lambda: None)  # unrelated event: no wake
+        def arrive() -> None:
+            state["hits"] += 1
+            waiter.wake()
+        sim.schedule(0.5, arrive)
+        sim.schedule(0.9, arrive)
+        return sim, waiter, state
+
+    sim_poll, _unused, state_poll = build()
+    assert sim_poll.run_until(lambda: state_poll["hits"] >= 2, timeout=5.0)
+    sim_wait, waiter, state_wait = build()
+    assert sim_wait.run_until(lambda: state_wait["hits"] >= 2, timeout=5.0, waiter=waiter)
+    assert sim_wait.now == sim_poll.now == pytest.approx(0.9)
+    assert sim_wait.processed_events == sim_poll.processed_events
+
+
+def test_run_until_with_waiter_times_out_with_final_check():
+    sim = Simulator()
+    waiter = Waiter()
+    state = {"done": False}
+
+    def flip() -> None:
+        # State changes without a wake: the loop must still catch it in the
+        # final at-deadline evaluation even though no wake ever arrives.
+        state["done"] = True
+
+    sim.schedule(0.5, flip)
+    assert sim.run_until(lambda: state["done"], timeout=1.0, waiter=waiter)
+    assert sim.now == pytest.approx(1.0)
+
+
+def test_waiter_consume_resets_the_flag():
+    waiter = Waiter()
+    assert not waiter.consume()
+    waiter.wake()
+    assert waiter.consume()
+    assert not waiter.consume()
