@@ -1,32 +1,48 @@
-"""``python -m repro`` — run a named scenario survey from the command line.
+"""``python -m repro`` — run, resume, and report scenario surveys.
 
-Examples::
+Subcommands::
 
-    python -m repro --list-scenarios
-    python -m repro --scenario imc2002-survey --hosts 12 --shards 4 --seed 7
-    python -m repro --scenario route-flap --hosts 8 --rounds 2 --executor serial
+    python -m repro run --scenario imc2002-survey --hosts 12 --shards 4 --seed 7
+    python -m repro run --scenario route-flap --store runs/flap --shards 4
+    python -m repro resume --store runs/flap
+    python -m repro report --store runs/flap
+    python -m repro run --list-scenarios
 
-The survey runs through the sharded :class:`~repro.core.runner.CampaignRunner`
-and prints the host-eligibility summary table plus the scenario's headline
-reordering numbers.  Output is deterministic for a fixed
-``(--scenario, --hosts, --seed, --shards)``.
+``run`` executes a survey through the sharded
+:class:`~repro.core.runner.CampaignRunner`; with ``--store`` it checkpoints
+every completed shard durably, so a crashed or killed run continues with
+``resume`` from the last durable shard — the resumed result's printed
+``result-digest`` is bit-identical to an uninterrupted run's.  ``report``
+streams an existing store's records through
+:class:`~repro.analysis.streaming.StreamingSurvey` without re-running (or
+fully materializing) anything.  The legacy flag-style invocation
+(``python -m repro --scenario ...``) still works and means ``run``.
+
+Output is deterministic for a fixed ``(--scenario, --hosts, --seed,
+--shards)``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
+import signal
 import sys
 from typing import Optional, Sequence
 
 from repro.analysis.scenarios import compare_scenarios
+from repro.analysis.streaming import survey_from_store
 from repro.analysis.survey import summarize_eligibility
 from repro.core.campaign import CampaignConfig
-from repro.core.runner import _EXECUTORS, EXECUTOR_PROCESS
-from repro.scenarios.matrix import run_scenario
+from repro.core.runner import _EXECUTORS, EXECUTOR_PROCESS, result_digest
+from repro.net.errors import StoreError
+from repro.scenarios.matrix import resume_scenario, run_scenario
 from repro.scenarios.registry import LEGACY_SCENARIO, list_scenarios, scenario_names
+from repro.store.store import CampaignStore
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The ``run`` parser (also the legacy top-level flag interface)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Run a named network-scenario survey and print its summary.",
@@ -50,9 +66,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard executor (default: process)",
     )
     parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="durable campaign store directory: checkpoint each shard as it "
+        "completes so the run can be resumed after a crash",
+    )
+    parser.add_argument(
+        "--crash-after-shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help=argparse.SUPPRESS,  # crash-injection hook for the CI resume smoke
+    )
+    parser.add_argument(
         "--list-scenarios",
         action="store_true",
         help="list registered scenarios and exit",
+    )
+    return parser
+
+
+def _build_store_parser(prog: str, description: str) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog=prog, description=description)
+    parser.add_argument(
+        "--store", required=True, metavar="DIR", help="campaign store directory"
     )
     return parser
 
@@ -64,7 +102,36 @@ def _list_scenarios() -> None:
         print(f"  {scenario.description}")
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def _print_result(scenario_name: str, seed: int, shards: int, result) -> None:
+    print(
+        f"scenario={scenario_name} hosts={len(result.host_addresses)} "
+        f"seed={seed} shards={shards} records={len(result.records)}"
+    )
+    print()
+    print(summarize_eligibility(result).to_table())
+    print()
+    print(compare_scenarios({result.scenario or scenario_name: result}).to_table())
+    print()
+    print(f"result-digest={result_digest(result)}")
+
+
+def _crash_hook(crash_after: Optional[int]):
+    """SIGKILL ourselves after N durable shards (CI resume-smoke only).
+
+    A hard kill — not an exception — so the smoke test exercises exactly the
+    failure mode the store is built for: no unwind, no flush, no atexit.
+    """
+    if crash_after is None:
+        return None
+
+    def hook(outcome, completed, total):
+        if completed >= crash_after:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    return hook
+
+
+def cmd_run(argv: Sequence[str]) -> int:
     args = build_parser().parse_args(argv)
     if args.list_scenarios:
         _list_scenarios()
@@ -73,26 +140,106 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         known = ", ".join(scenario_names())
         print(f"unknown scenario {args.scenario!r}; registered: {known}", file=sys.stderr)
         return 2
+    if args.crash_after_shards is not None and args.store is None:
+        print("--crash-after-shards requires --store", file=sys.stderr)
+        return 2
 
     config = CampaignConfig(rounds=args.rounds, samples_per_measurement=args.samples)
-    run = run_scenario(
-        args.scenario,
-        config,
-        hosts=args.hosts,
-        seed=args.seed,
-        shards=args.shards,
-        executor=args.executor,
-    )
-    result = run.result
-    print(
-        f"scenario={args.scenario} hosts={len(result.host_addresses)} "
-        f"seed={args.seed} shards={args.shards} records={len(result.records)}"
-    )
-    print()
-    print(summarize_eligibility(result).to_table())
-    print()
-    print(compare_scenarios({args.scenario: result}).to_table())
+    try:
+        run = run_scenario(
+            args.scenario,
+            config,
+            hosts=args.hosts,
+            seed=args.seed,
+            shards=args.shards,
+            executor=args.executor,
+            store=args.store,
+            on_checkpoint=_crash_hook(args.crash_after_shards),
+        )
+    except StoreError as error:
+        print(f"store error: {error}", file=sys.stderr)
+        return 1
+    _print_result(args.scenario, args.seed, args.shards, run.result)
     return 0
+
+
+def cmd_resume(argv: Sequence[str]) -> int:
+    parser = _build_store_parser(
+        "python -m repro resume",
+        "Continue an interrupted survey from its durable store.",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=_EXECUTORS,
+        default=EXECUTOR_PROCESS,
+        help="shard executor for the remaining shards (default: process)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        store = CampaignStore.open(args.store)
+        already = len(store.completed_shards())
+        plan = store.plan()
+        print(f"resuming: {already}/{plan.shards} shard(s) already durable")
+        run = resume_scenario(store, executor=args.executor)
+    except StoreError as error:
+        print(f"store error: {error}", file=sys.stderr)
+        return 1
+    scenario_name = plan.scenario or run.scenario.name
+    _print_result(scenario_name, plan.seed, plan.shards, run.result)
+    return 0
+
+
+def cmd_report(argv: Sequence[str]) -> int:
+    parser = _build_store_parser(
+        "python -m repro report",
+        "Summarise a durable store by streaming its records (no re-run).",
+    )
+    args = parser.parse_args(argv)
+    try:
+        store = CampaignStore.open(args.store)
+        plan = store.plan()
+        survey = survey_from_store(store)
+    except StoreError as error:
+        print(f"store error: {error}", file=sys.stderr)
+        return 1
+    durable = len(store.completed_shards())
+    status = "complete" if store.is_complete() else "INCOMPLETE"
+    print(
+        f"store={args.store} scenario={plan.scenario} seed={plan.seed} "
+        f"shards={durable}/{plan.shards} ({status}) records={survey.records_observed}"
+    )
+    print()
+    print(survey.eligibility().to_table())
+    for name, slice_ in sorted(survey.scenario_slices().items()):
+        fig5 = slice_.fig5()
+        if fig5.cdf is None:
+            continue
+        print()
+        print(
+            f"[{name}] fig5: paths={len(fig5.per_path_rates)} "
+            f"reordering={fig5.fraction_with_reordering:.1%} "
+            f"median-rate={fig5.cdf.quantile(0.5):.4f} "
+            f"p90-rate={fig5.cdf.quantile(0.9):.4f}"
+        )
+    if store.is_complete():
+        print()
+        print(f"result-digest={result_digest(store.load_result())}")
+    return 0
+
+
+_COMMANDS = {
+    "run": cmd_run,
+    "resume": cmd_resume,
+    "report": cmd_report,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in _COMMANDS:
+        return _COMMANDS[argv[0]](argv[1:])
+    # Legacy spelling: bare flags mean `run`.
+    return cmd_run(argv)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

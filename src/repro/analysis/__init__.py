@@ -18,6 +18,7 @@ from repro.analysis.scenarios import (
     slice_by_scenario,
     summarize_scenario_slice,
 )
+from repro.analysis.streaming import StreamingSurvey, stream_survey, survey_from_store
 from repro.analysis.survey import (
     EligibilitySummary,
     SurveyRun,
@@ -32,6 +33,7 @@ __all__ = [
     "EligibilitySummary",
     "ScenarioComparison",
     "ScenarioSliceSummary",
+    "StreamingSurvey",
     "SurveyRun",
     "agreement_by_scenario",
     "build_fig5_cdf",
@@ -43,7 +45,9 @@ __all__ = [
     "format_table",
     "run_sharded_survey",
     "slice_by_scenario",
+    "stream_survey",
     "summarize_eligibility",
     "summarize_scenario_slice",
+    "survey_from_store",
     "validation_table",
 ]

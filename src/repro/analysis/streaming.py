@@ -1,0 +1,268 @@
+"""Streaming survey aggregation: analysis straight off a campaign store.
+
+The batch helpers (:func:`~repro.analysis.survey.summarize_eligibility`,
+:func:`~repro.analysis.figures.build_fig5_cdf`) take a fully materialized
+:class:`~repro.core.campaign.CampaignResult`.  At the ROADMAP's scale a
+store's dataset may not fit in memory, so :class:`StreamingSurvey` consumes
+records one at a time — e.g. from
+:meth:`repro.store.store.CampaignStore.iter_records` — keeping only online
+per-path aggregates (counts, flags, rate sums, and
+:class:`~repro.stats.streaming.ReorderCounter` tallies).
+
+Exactness, not approximation: for any complete store, the streaming
+eligibility summary and Figure 5 CDF equal the batch ones computed from
+``store.load_result()`` — per-host record order is preserved within a shard,
+so even the floating-point rate sums accumulate in the batch order.
+Per-scenario slices fall out of the same pass, keyed by the scenario stamp
+each record carries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+
+from repro.analysis.figures import Fig5Data
+from repro.analysis.survey import EligibilitySummary
+from repro.core.campaign import HostRoundResult
+from repro.core.prober import TestName
+from repro.core.sample import Direction, SampleOutcome
+from repro.stats.cdf import EmpiricalCdf
+from repro.stats.streaming import QuantileAccumulator, ReorderCounter
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.store.store import CampaignStore
+
+
+@dataclass(slots=True)
+class _PathState:
+    """Online per-(host, test) aggregates."""
+
+    attempts: int = 0
+    ineligible: bool = False
+    succeeded: bool = False
+    forward_rate_sum: float = 0.0
+    forward_rate_count: int = 0
+    reverse_rate_sum: float = 0.0
+    reverse_rate_count: int = 0
+
+    def merge(self, other: "_PathState") -> None:
+        self.attempts += other.attempts
+        self.ineligible = self.ineligible or other.ineligible
+        self.succeeded = self.succeeded or other.succeeded
+        self.forward_rate_sum += other.forward_rate_sum
+        self.forward_rate_count += other.forward_rate_count
+        self.reverse_rate_sum += other.reverse_rate_sum
+        self.reverse_rate_count += other.reverse_rate_count
+
+    def mean_rate(self, direction: Direction) -> Optional[float]:
+        if direction is Direction.FORWARD:
+            total, count = self.forward_rate_sum, self.forward_rate_count
+        else:
+            total, count = self.reverse_rate_sum, self.reverse_rate_count
+        if count == 0:
+            return None
+        return total / count
+
+
+@dataclass(slots=True)
+class StreamingSurvey:
+    """Single-pass survey aggregation over campaign records.
+
+    ``host_addresses`` fixes the population (and hence ``total_hosts``) when
+    known up front — e.g. from a store's plan; hosts are otherwise discovered
+    in observation order.  Surveys built over disjoint record sets can be
+    :meth:`merge`-d, which is how checkpoint-time aggregation folds a new
+    shard into a running summary.
+    """
+
+    host_addresses: tuple[int, ...] = ()
+    _discover_hosts: bool = field(init=False, default=False)
+    _paths: dict = field(init=False, default_factory=dict)
+    _sample_counters: dict = field(init=False, default_factory=dict)
+    _hosts_seen: dict = field(init=False, default_factory=dict)
+    _scenarios: dict = field(init=False, default_factory=dict)
+    measurements_total: int = field(init=False, default=0)
+    measurements_with_reordering: int = field(init=False, default=0)
+    records_observed: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        self.host_addresses = tuple(self.host_addresses)
+        self._discover_hosts = not self.host_addresses
+        for address in self.host_addresses:
+            self._hosts_seen[address] = None
+
+    # ------------------------------------------------------------------ #
+    # Observation
+    # ------------------------------------------------------------------ #
+
+    def observe(self, record: HostRoundResult) -> None:
+        """Fold one campaign record into the running aggregates."""
+        self._observe_here(record)
+        slice_ = self._scenarios.get(record.scenario or "unnamed")
+        if slice_ is None:
+            slice_ = StreamingSurvey()
+            self._scenarios[record.scenario or "unnamed"] = slice_
+        slice_._observe_here(record)
+
+    def observe_all(self, records: Iterable[HostRoundResult]) -> "StreamingSurvey":
+        """Fold many records; returns self for chaining."""
+        for record in records:
+            self.observe(record)
+        return self
+
+    def _observe_here(self, record: HostRoundResult) -> None:
+        self.records_observed += 1
+        if self._discover_hosts and record.host_address not in self._hosts_seen:
+            self._hosts_seen[record.host_address] = None
+        report = record.report
+        key = (record.host_address, record.test)
+        state = self._paths.get(key)
+        if state is None:
+            state = self._paths[key] = _PathState()
+        state.attempts += 1
+        state.ineligible = state.ineligible or report.ineligible
+        if report.succeeded:
+            state.succeeded = True
+            self.measurements_total += 1
+        result = report.result
+        if result is None:
+            return
+        counter = self._sample_counters.get(record.test)
+        if counter is None:
+            counter = self._sample_counters[record.test] = ReorderCounter()
+        reordering = False
+        for sample in result.samples:
+            counter.observe(sample)
+            reordering = reordering or (
+                sample.forward is SampleOutcome.REORDERED
+                or sample.reverse is SampleOutcome.REORDERED
+            )
+        if reordering:
+            self.measurements_with_reordering += 1
+        forward = result.reordering_rate(Direction.FORWARD)
+        if forward is not None:
+            state.forward_rate_sum += forward
+            state.forward_rate_count += 1
+        reverse = result.reordering_rate(Direction.REVERSE)
+        if reverse is not None:
+            state.reverse_rate_sum += reverse
+            state.reverse_rate_count += 1
+
+    def merge(self, other: "StreamingSurvey") -> None:
+        """Fold another survey (over a disjoint record set) into this one."""
+        self._merge_here(other)
+        for name, their_slice in other._scenarios.items():
+            mine = self._scenarios.get(name)
+            if mine is None:
+                mine = self._scenarios[name] = StreamingSurvey()
+            mine._merge_here(their_slice)
+
+    def _merge_here(self, other: "StreamingSurvey") -> None:
+        for address in other._hosts_seen:
+            if self._discover_hosts and address not in self._hosts_seen:
+                self._hosts_seen[address] = None
+        for key, theirs in other._paths.items():
+            mine = self._paths.get(key)
+            if mine is None:
+                mine = self._paths[key] = _PathState()
+            mine.merge(theirs)
+        for test, theirs in other._sample_counters.items():
+            mine = self._sample_counters.get(test)
+            if mine is None:
+                mine = self._sample_counters[test] = ReorderCounter()
+            mine.merge(theirs)
+        self.measurements_total += other.measurements_total
+        self.measurements_with_reordering += other.measurements_with_reordering
+        self.records_observed += other.records_observed
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+
+    @property
+    def hosts(self) -> tuple[int, ...]:
+        """The population: fixed up front, or discovered from the stream."""
+        return tuple(self._hosts_seen)
+
+    def sample_counter(self, test: TestName) -> ReorderCounter:
+        """Online per-direction sample tallies for one technique."""
+        return self._sample_counters.get(test, ReorderCounter())
+
+    def ineligible_hosts(self, test: TestName) -> set[int]:
+        """Hosts ruled out for ``test`` (same rule as the batch campaign view)."""
+        failed = set()
+        for address in self.hosts:
+            state = self._paths.get((address, test))
+            if state is None:
+                continue
+            if state.ineligible or not state.succeeded:
+                failed.add(address)
+        return failed
+
+    def eligibility(self) -> EligibilitySummary:
+        """The eligibility table, equal to the batch ``summarize_eligibility``."""
+        summary = EligibilitySummary(total_hosts=len(self.hosts))
+        for test in TestName.all():
+            summary.ineligible[test] = len(self.ineligible_hosts(test))
+        summary.measurements_total = self.measurements_total
+        summary.measurements_with_reordering = self.measurements_with_reordering
+        return summary
+
+    def path_rates(self, test: TestName, direction: Direction) -> dict[int, float]:
+        """Per-host mean reordering rate, equal to the batch ``path_rates``."""
+        rates: dict[int, float] = {}
+        for address in self.hosts:
+            state = self._paths.get((address, test))
+            if state is None:
+                continue
+            rate = state.mean_rate(direction)
+            if rate is not None:
+                rates[address] = rate
+        return rates
+
+    def rate_accumulator(self, test: TestName, direction: Direction) -> QuantileAccumulator:
+        """Mergeable quantile accumulator over the per-path mean rates."""
+        return QuantileAccumulator(self.path_rates(test, direction).values())
+
+    def fig5(
+        self,
+        test: TestName = TestName.SINGLE_CONNECTION,
+        direction: Direction = Direction.FORWARD,
+    ) -> Fig5Data:
+        """The Figure 5 CDF, equal to the batch ``build_fig5_cdf``."""
+        rates = self.path_rates(test, direction)
+        return Fig5Data(
+            direction=direction,
+            test=test,
+            per_path_rates=rates,
+            cdf=EmpiricalCdf(rates.values()) if rates else None,
+        )
+
+    def scenario_slices(self) -> dict[str, "StreamingSurvey"]:
+        """Per-scenario sub-surveys, keyed by the records' scenario stamps."""
+        return dict(self._scenarios)
+
+
+def stream_survey(
+    records: Iterable[HostRoundResult],
+    host_addresses: Sequence[int] = (),
+) -> StreamingSurvey:
+    """Aggregate an iterable of records in one streaming pass."""
+    return StreamingSurvey(host_addresses=tuple(host_addresses)).observe_all(records)
+
+
+def survey_from_store(store: "CampaignStore") -> StreamingSurvey:
+    """Stream a campaign store's durable records into a survey summary.
+
+    Works on partial stores too (the summary then covers the durable shards
+    only — check ``store.is_complete()`` before treating it as the survey).
+    """
+    return stream_survey(store.iter_records(), host_addresses=store.plan().host_addresses)
+
+
+__all__ = [
+    "StreamingSurvey",
+    "stream_survey",
+    "survey_from_store",
+]

@@ -44,17 +44,29 @@ follow:
 
 from __future__ import annotations
 
+import hashlib
 import os
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
 from dataclasses import dataclass
 from pickle import PicklingError
-from typing import Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
 
 from repro.core.campaign import Campaign, CampaignConfig, CampaignResult, HostRoundResult
 from repro.core.prober import TestName
 from repro.net.errors import MeasurementError
 from repro.workloads.population import partition_specs
 from repro.workloads.testbed import HostSpec, build_testbed
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import (store sits above core)
+    from repro.store.store import CampaignPlan, CampaignStore
+
+CheckpointHook = Callable[["ShardOutcome", int, int], None]
+"""Called after each shard becomes durable: ``(outcome, completed, total)``."""
 
 EXECUTOR_PROCESS = "process"
 EXECUTOR_THREAD = "thread"
@@ -173,6 +185,47 @@ def result_signature(result: CampaignResult) -> tuple:
     return tuple(sorted(record_signature(record) for record in result.records))
 
 
+def result_digest(result: CampaignResult) -> str:
+    """sha256 hex digest of :func:`result_signature`.
+
+    This is the compact form the golden-signature tests pin and the CLI /
+    CI resume-smoke job compare: two campaigns measured the same thing
+    exactly when their digests match.
+    """
+    return hashlib.sha256(repr(result_signature(result)).encode()).hexdigest()
+
+
+def merge_records(
+    records: Iterable[HostRoundResult],
+    *,
+    config: CampaignConfig,
+    host_addresses: tuple[int, ...],
+    tests: tuple[TestName, ...],
+    scenario: Optional[str],
+) -> CampaignResult:
+    """Merge shard records into one result in canonical round-robin order.
+
+    The canonical order is the exact sequence the serial Campaign visits
+    (round, then host in spec order, then test in cycle order), so merged
+    output is independent of shard completion order — and of whether the
+    records came straight from workers or back out of a
+    :class:`~repro.store.store.CampaignStore`.
+    """
+    host_order = {address: index for index, address in enumerate(host_addresses)}
+    test_order = {test: index for index, test in enumerate(tests)}
+    ordered = sorted(
+        records,
+        key=lambda record: (
+            record.round_index,
+            host_order[record.host_address],
+            test_order[record.test],
+        ),
+    )
+    result = CampaignResult(config=config, host_addresses=host_addresses, scenario=scenario)
+    result.extend(ordered)
+    return result
+
+
 def run_shard(task: ShardTask) -> ShardOutcome:
     """Build one shard's testbed and run its campaign to completion.
 
@@ -265,8 +318,54 @@ class CampaignRunner:
         """The partitions the runner will execute, in order."""
         return partition_specs(self.specs, self.shards)
 
-    def run(self, tests: Optional[Iterable[TestName]] = None) -> CampaignResult:
-        """Execute every shard and merge the records into one result."""
+    def plan(
+        self,
+        tests: Optional[Iterable[TestName]] = None,
+        *,
+        origin: Optional[dict] = None,
+    ) -> "CampaignPlan":
+        """The durable-store plan describing exactly this runner's campaign.
+
+        ``origin`` optionally records how the host specs were built (e.g. the
+        registry scenario and population size) so a resume can rebuild them
+        from the manifest alone; it travels in the store verbatim.
+        """
+        from repro.store.store import CampaignPlan, specs_digest
+
+        active_tests = tuple(tests) if tests is not None else self.config.tests
+        return CampaignPlan(
+            seed=self.seed,
+            shards=len(self.shard_plan()),
+            remote_port=self.remote_port,
+            scenario=self.scenario,
+            tests=active_tests,
+            config=self.config,
+            specs_digest=specs_digest(self.specs),
+            host_addresses=self.host_addresses,
+            origin=origin,
+        )
+
+    def run(
+        self,
+        tests: Optional[Iterable[TestName]] = None,
+        *,
+        store: Optional["CampaignStore"] = None,
+        resume: bool = False,
+        origin: Optional[dict] = None,
+        on_checkpoint: Optional[CheckpointHook] = None,
+    ) -> CampaignResult:
+        """Execute every shard and merge the records into one result.
+
+        With a ``store``, the runner checkpoints each shard's records as the
+        shard completes (durable before the next checkpoint fires), so an
+        interrupted run can be continued with ``resume=True``: shards the
+        store already holds are loaded back instead of re-executed, and the
+        merged result is bit-identical — same
+        :func:`result_signature` — to an uninterrupted run.  The runner must
+        be constructed with the same specs, config, seed, and shard count as
+        the original run; the store verifies this against its manifest and
+        raises :class:`~repro.net.errors.StoreError` on any mismatch.
+        """
         active_tests = tuple(tests) if tests is not None else self.config.tests
         tasks = [
             ShardTask(
@@ -280,7 +379,15 @@ class CampaignRunner:
             )
             for index, shard in enumerate(self.shard_plan())
         ]
-        outcomes = self._execute(tasks)
+        if store is None:
+            return self._merge(self._execute(tasks), active_tests)
+        completed = store.begin(self.plan(active_tests, origin=origin), resume=resume)
+        pending = [task for task in tasks if task.index not in completed]
+        fresh = self._execute_checkpointed(pending, store, on_checkpoint, total=len(tasks))
+        # Shards executed this run merge from memory; only previously durable
+        # shards are read back (the codec is lossless, so both sources yield
+        # signature-identical records).
+        outcomes = [store.read_shard(index) for index in sorted(completed)] + fresh
         return self._merge(outcomes, active_tests)
 
     # ------------------------------------------------------------------ #
@@ -320,24 +427,103 @@ class CampaignRunner:
             # rerunning them inline yields the identical result.
             return [run_shard(task) for task in tasks]
 
+    def _execute_checkpointed(
+        self,
+        tasks: list[ShardTask],
+        store: "CampaignStore",
+        on_checkpoint: Optional[CheckpointHook],
+        *,
+        total: int,
+    ) -> list[ShardOutcome]:
+        """Run shards, committing each to the store as it completes.
+
+        Checkpoints land in completion order (the store is indexed by shard,
+        so order is irrelevant to the merge); each shard is durable before
+        its ``on_checkpoint`` hook fires.  Returns the outcomes in completion
+        order so the caller can merge them without reading them back.
+        """
+        outcomes: list[ShardOutcome] = []
+        for outcome in self._iter_completed(tasks, store):
+            store.write_shard(outcome)
+            outcomes.append(outcome)
+            if on_checkpoint is not None:
+                on_checkpoint(outcome, len(store.completed_shards()), total)
+        return outcomes
+
+    def _submit_shards(self, tasks: list[ShardTask]):
+        """Create a pool and submit every shard; returns ``(pool, futures)``."""
+        workers = self.max_workers or min(len(tasks), os.cpu_count() or 1)
+        if self.executor == EXECUTOR_PROCESS:
+            context = ShardContext(
+                config=self.config,
+                tests=tasks[0].tests,
+                seed=self.seed,
+                remote_port=self.remote_port,
+                scenario=self.scenario,
+            )
+            pool = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_shard_worker,
+                initargs=(context,),
+            )
+            submit = lambda task: pool.submit(_run_shard_slice, (task.index, task.specs))
+        else:
+            pool = ThreadPoolExecutor(max_workers=workers)
+            submit = lambda task: pool.submit(run_shard, task)
+        try:
+            return pool, [submit(task) for task in tasks]
+        except BaseException:
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+
+    def _iter_completed(
+        self, tasks: list[ShardTask], store: "CampaignStore"
+    ) -> Iterable[ShardOutcome]:
+        """Yield shard outcomes as they complete.
+
+        A generator so that only *pool* failures trigger the serial fallback:
+        exceptions raised by the consumer (store writes, checkpoint hooks)
+        propagate out of the ``yield`` and are never mistaken for pool
+        infrastructure problems — and closing the generator cancels the
+        queued shards rather than running the rest of the campaign first.
+        On pool failure, shards already durable in the store are not re-run;
+        the rest execute inline (shards are pure functions, so the retry
+        yields identical records).
+        """
+        if not tasks:
+            return
+        if self.executor != EXECUTOR_SERIAL and len(tasks) > 1:
+            try:
+                pool, futures = self._submit_shards(tasks)
+            except (OSError, PicklingError, BrokenExecutor):
+                pool = None
+            if pool is not None:
+                pool_failed = False
+                try:
+                    for future in as_completed(futures):
+                        yield future.result()
+                except (OSError, PicklingError, BrokenExecutor):
+                    pool_failed = True
+                finally:
+                    # Reached on success, pool failure, *and* generator close
+                    # (consumer raised): drop queued shards either way —
+                    # already-running ones finish, nothing new starts.
+                    pool.shutdown(wait=True, cancel_futures=True)
+                if not pool_failed:
+                    return
+                tasks = [
+                    task for task in tasks if task.index not in store.completed_shards()
+                ]
+        for task in tasks:
+            yield run_shard(task)
+
     def _merge(
         self, outcomes: Iterable[ShardOutcome], active_tests: tuple[TestName, ...]
     ) -> CampaignResult:
-        host_order = {address: index for index, address in enumerate(self.host_addresses)}
-        test_order = {test: index for index, test in enumerate(active_tests)}
-        records = [record for outcome in outcomes for record in outcome.records]
-        # Canonical round-robin order: the exact sequence the serial Campaign
-        # visits (round, then host in spec order, then test in cycle order),
-        # so merged output is independent of shard completion order.
-        records.sort(
-            key=lambda record: (
-                record.round_index,
-                host_order[record.host_address],
-                test_order[record.test],
-            )
+        return merge_records(
+            (record for outcome in outcomes for record in outcome.records),
+            config=self.config,
+            host_addresses=self.host_addresses,
+            tests=active_tests,
+            scenario=self.scenario,
         )
-        result = CampaignResult(
-            config=self.config, host_addresses=self.host_addresses, scenario=self.scenario
-        )
-        result.extend(records)
-        return result

@@ -69,3 +69,12 @@ class SampleTimeoutError(MeasurementError):
 
 class AnalysisError(ReproError):
     """Raised by the statistics / analysis layer on invalid input."""
+
+
+class StoreError(ReproError):
+    """Raised by the durable campaign store on corrupt or mismatched data.
+
+    Covers manifest/segment corruption, format-version skew, and resuming a
+    store with a campaign plan that does not match the one it was created
+    with (different specs, config, seed, shard count, or tests).
+    """

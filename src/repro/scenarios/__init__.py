@@ -21,6 +21,7 @@ from repro.scenarios.matrix import (
     ScenarioRun,
     derive_cell_seed,
     resolve_scenario,
+    resume_scenario,
     run_matrix,
     run_scenario,
 )
@@ -61,6 +62,7 @@ __all__ = [
     "list_scenarios",
     "register_scenario",
     "resolve_scenario",
+    "resume_scenario",
     "run_matrix",
     "run_scenario",
     "scenario_names",

@@ -11,9 +11,11 @@ cell regardless of execution order or shard count.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Optional, Sequence, Union
 
+from repro.net.errors import StoreError
 from repro.scenarios.registry import get_scenario
 from repro.scenarios.population import build_scenario_hosts
 from repro.scenarios.spec import NetworkScenario
@@ -21,7 +23,9 @@ from repro.sim.random import SeededRandom
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.core.campaign import CampaignConfig, CampaignResult
+    from repro.core.runner import CheckpointHook
     from repro.core.prober import TestName
+    from repro.store.store import CampaignStore
 
 EXECUTOR_PROCESS = "process"
 """Default executor name, mirrored from :mod:`repro.core.runner`.
@@ -73,6 +77,9 @@ def run_scenario(
     max_workers: Optional[int] = None,
     tests: Optional[Iterable["TestName"]] = None,
     scenario_label: Optional[str] = None,
+    store: Optional[Union["CampaignStore", os.PathLike, str]] = None,
+    resume: bool = False,
+    on_checkpoint: Optional["CheckpointHook"] = None,
 ) -> ScenarioRun:
     """Build a scenario's population and run it through the sharded runner.
 
@@ -80,6 +87,12 @@ def run_scenario(
     ``scenario_label``), and the dataset is a pure function of
     ``(scenario, config, hosts, seed, tests, shards)`` — executor choice and
     worker count never change it (see :mod:`repro.core.runner`).
+
+    With ``store`` (a :class:`~repro.store.store.CampaignStore` or a
+    directory path) the run checkpoints each completed shard durably, and the
+    manifest records how the population was built — so an interrupted run can
+    later be continued by :func:`resume_scenario` from the store alone.
+    ``resume=True`` continues such an interrupted run in place.
     """
     from repro.core.runner import CampaignRunner
 
@@ -87,6 +100,7 @@ def run_scenario(
     if hosts is not None:
         spec = spec.with_population(num_hosts=hosts)
     host_specs = build_scenario_hosts(spec, seed=seed)
+    label = scenario_label or spec.name
     runner = CampaignRunner(
         host_specs,
         config,
@@ -94,9 +108,86 @@ def run_scenario(
         shards=shards,
         executor=executor,
         max_workers=max_workers,
-        scenario=scenario_label or spec.name,
+        scenario=label,
     )
-    return ScenarioRun(scenario=spec, seed=seed, result=runner.run(tests))
+    origin = None
+    if store is not None:
+        store = _as_store(store, create=True)
+        origin = {
+            "kind": "scenario",
+            "scenario": spec.name,
+            "hosts": hosts,
+            "seed": seed,
+            "scenario_label": label,
+        }
+    result = runner.run(
+        tests, store=store, resume=resume, origin=origin, on_checkpoint=on_checkpoint
+    )
+    return ScenarioRun(scenario=spec, seed=seed, result=result)
+
+
+def _as_store(
+    store: Union["CampaignStore", os.PathLike, str], *, create: bool
+) -> "CampaignStore":
+    """Accept a store object or a directory path (created lazily on run)."""
+    from repro.store.store import CampaignStore
+
+    if isinstance(store, CampaignStore):
+        return store
+    if create:
+        return CampaignStore(store)  # begin() writes the manifest on first use
+    return CampaignStore.open(store)
+
+
+def resume_scenario(
+    store: Union["CampaignStore", os.PathLike, str],
+    *,
+    executor: str = EXECUTOR_PROCESS,
+    max_workers: Optional[int] = None,
+    on_checkpoint: Optional["CheckpointHook"] = None,
+) -> ScenarioRun:
+    """Continue an interrupted scenario run from its store alone.
+
+    The manifest's ``origin`` records the registry scenario, population size,
+    and seed the run was started with; the population is rebuilt from those
+    (a pure function, so the specs are identical), already-durable shards are
+    loaded back, and only the missing shards execute.  The merged result is
+    bit-identical — same :func:`~repro.core.runner.result_signature` — to the
+    uninterrupted run.  Executor choice is free: it never affects records.
+    """
+    from repro.core.runner import CampaignRunner
+
+    store = _as_store(store, create=False)
+    plan = store.plan()
+    origin = plan.origin or {}
+    if origin.get("kind") != "scenario":
+        raise StoreError(
+            "store was not created by run_scenario (no scenario origin in its "
+            "manifest); resume it with CampaignRunner.run(store=..., resume=True) "
+            "and the original host specs instead"
+        )
+    spec = get_scenario(origin["scenario"])
+    if origin.get("hosts") is not None:
+        spec = spec.with_population(num_hosts=origin["hosts"])
+    host_specs = build_scenario_hosts(spec, seed=origin["seed"])
+    runner = CampaignRunner(
+        host_specs,
+        plan.config,
+        seed=plan.seed,
+        remote_port=plan.remote_port,
+        shards=plan.shards,
+        executor=executor,
+        max_workers=max_workers,
+        scenario=plan.scenario,
+    )
+    result = runner.run(
+        plan.tests,
+        store=store,
+        resume=True,
+        origin=plan.origin,
+        on_checkpoint=on_checkpoint,
+    )
+    return ScenarioRun(scenario=spec, seed=plan.seed, result=result)
 
 
 @dataclass(frozen=True, slots=True)

@@ -3,7 +3,7 @@ confidence intervals, and the pair-difference test used to compare
 measurement techniques against each other (paper §IV-B).
 """
 
-from repro.stats.cdf import EmpiricalCdf
+from repro.stats.cdf import EmpiricalCdf, quantile_index
 from repro.stats.descriptive import (
     mean,
     median,
@@ -19,18 +19,23 @@ from repro.stats.intervals import (
     wilson_interval,
 )
 from repro.stats.pair_difference import PairDifferenceResult, paired_difference_test
+from repro.stats.streaming import DirectionCounter, QuantileAccumulator, ReorderCounter
 from repro.stats.student_t import t_quantile
 
 __all__ = [
     "BinomialEstimate",
+    "DirectionCounter",
     "EmpiricalCdf",
     "PairDifferenceResult",
+    "QuantileAccumulator",
+    "ReorderCounter",
     "binomial_estimate",
     "mean",
     "median",
     "normal_interval",
     "paired_difference_test",
     "quantile",
+    "quantile_index",
     "stddev",
     "summarize",
     "t_quantile",

@@ -8,10 +8,26 @@ needs.
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_right
 from typing import Iterable, Sequence
 
 from repro.net.errors import AnalysisError
+
+
+def quantile_index(q: float, n: int) -> int:
+    """Index of the smallest order statistic v with CDF(v) >= q.
+
+    The empirical CDF jumps to ``k / n`` at the k-th order statistic, so the
+    answer is the ``ceil(q * n)``-th value (1-based).  ``round(q * n + 0.5)``
+    is *not* equivalent: Python rounds half to even, so whenever ``q * n``
+    lands on an exact integer (e.g. q=0.75, n=4) it overshoots by one.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise AnalysisError(f"quantile level out of range: {q}")
+    if n < 1:
+        raise AnalysisError("quantile of an empty sample is undefined")
+    return max(0, min(n - 1, math.ceil(q * n) - 1))
 
 
 class EmpiricalCdf:
@@ -36,12 +52,7 @@ class EmpiricalCdf:
 
     def quantile(self, q: float) -> float:
         """Return the smallest sample value v with CDF(v) >= q."""
-        if not 0.0 <= q <= 1.0:
-            raise AnalysisError(f"quantile level out of range: {q}")
-        if q == 0.0:
-            return self._values[0]
-        index = max(0, min(len(self._values) - 1, int(round(q * len(self._values) + 0.5)) - 1))
-        return self._values[index]
+        return self._values[quantile_index(q, len(self._values))]
 
     def fraction_above(self, x: float) -> float:
         """Return P(X > x); e.g. the fraction of paths with any reordering is fraction_above(0)."""

@@ -24,12 +24,19 @@ _Z_TABLE = {
 }
 
 
+# Bisected quantiles are memoized here so streaming aggregation (which asks
+# for the same handful of confidence levels once per checkpoint) never pays
+# the 200-iteration bisection more than once per level.
+_Z_CACHE = dict(_Z_TABLE)
+
+
 def _z_for_confidence(confidence: float) -> float:
     """Return the two-sided normal quantile for a confidence level."""
     if not 0.0 < confidence < 1.0:
         raise AnalysisError(f"confidence must be in (0, 1): {confidence}")
-    if confidence in _Z_TABLE:
-        return _Z_TABLE[confidence]
+    cached = _Z_CACHE.get(confidence)
+    if cached is not None:
+        return cached
     # Acklam-style rational approximation of the normal inverse CDF is more
     # machinery than needed; a bisection over the error function is exact
     # enough and has no magic constants.
@@ -41,7 +48,9 @@ def _z_for_confidence(confidence: float) -> float:
             low = mid
         else:
             high = mid
-    return (low + high) / 2.0
+    z = (low + high) / 2.0
+    _Z_CACHE[confidence] = z
+    return z
 
 
 @dataclass(frozen=True, slots=True)

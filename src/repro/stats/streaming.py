@@ -1,0 +1,233 @@
+"""Online, mergeable aggregation primitives for streaming analysis.
+
+Survey-scale campaigns (the ROADMAP's millions of probed paths) cannot
+afford to materialize every :class:`~repro.core.sample.ReorderSample` before
+computing the paper's summary statistics.  The accumulators here consume
+observations one at a time, merge across shards/checkpoints, and reproduce
+the batch statistics *exactly*:
+
+* :class:`DirectionCounter` / :class:`ReorderCounter` — per-direction sample
+  outcome tallies (the counts behind reordering rates and Wilson intervals).
+* :class:`QuantileAccumulator` — an exact empirical-distribution sketch over
+  value counts, with the same quantile/CDF semantics as
+  :class:`~repro.stats.cdf.EmpiricalCdf` (it shares
+  :func:`~repro.stats.cdf.quantile_index`).  Exactness is affordable because
+  the distributions the analysis layer builds (per-path mean rates) have far
+  fewer *distinct* values than observations.
+
+Every accumulator satisfies the merge law used by the store's checkpointed
+aggregation: ``observe`` interleaved in any order, or partitioned and
+``merge``-d, yields identical state.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+from repro.net.errors import AnalysisError
+from repro.stats.cdf import EmpiricalCdf, quantile_index
+from repro.stats.intervals import BinomialEstimate, binomial_estimate
+
+# The stats layer sits *below* core (core.sample imports the interval
+# machinery), so the counters speak the stable outcome/direction wire strings
+# — the same values core.sample's enums carry and the store codec persists —
+# and accept either the enum members or the raw strings.
+OUTCOME_IN_ORDER = "in-order"
+OUTCOME_REORDERED = "reordered"
+OUTCOME_AMBIGUOUS = "ambiguous"
+OUTCOME_LOST = "lost"
+DIRECTION_FORWARD = "forward"
+DIRECTION_REVERSE = "reverse"
+
+
+def _as_value(token: Any) -> str:
+    """Accept an enum member (``.value``) or its raw wire string."""
+    return getattr(token, "value", token)
+
+
+@dataclass(slots=True)
+class DirectionCounter:
+    """Online tally of one direction's sample outcomes."""
+
+    in_order: int = 0
+    reordered: int = 0
+    ambiguous: int = 0
+    lost: int = 0
+
+    def observe(self, outcome: Any) -> None:
+        """Count one classification (``SampleOutcome`` member or wire string)."""
+        kind = _as_value(outcome)
+        if kind == OUTCOME_IN_ORDER:
+            self.in_order += 1
+        elif kind == OUTCOME_REORDERED:
+            self.reordered += 1
+        elif kind == OUTCOME_AMBIGUOUS:
+            self.ambiguous += 1
+        elif kind == OUTCOME_LOST:
+            self.lost += 1
+        else:
+            raise AnalysisError(f"unknown sample outcome: {outcome!r}")
+
+    def merge(self, other: "DirectionCounter") -> None:
+        """Fold another counter (e.g. another shard's) into this one."""
+        self.in_order += other.in_order
+        self.reordered += other.reordered
+        self.ambiguous += other.ambiguous
+        self.lost += other.lost
+
+    @property
+    def total(self) -> int:
+        """All samples observed, valid or not."""
+        return self.in_order + self.reordered + self.ambiguous + self.lost
+
+    @property
+    def valid(self) -> int:
+        """Samples usable for a reordering-rate estimate."""
+        return self.in_order + self.reordered
+
+    def rate(self) -> Optional[float]:
+        """Point estimate of the reordering rate, or None without valid samples."""
+        if self.valid == 0:
+            return None
+        return self.reordered / self.valid
+
+    def estimate(self, confidence: float = 0.95) -> Optional[BinomialEstimate]:
+        """Wilson-interval estimate, or None without valid samples."""
+        if self.valid == 0:
+            return None
+        return binomial_estimate(self.reordered, self.valid, confidence)
+
+
+@dataclass(slots=True)
+class ReorderCounter:
+    """Both directions' tallies for one stream of packet-pair samples."""
+
+    forward: DirectionCounter = field(default_factory=DirectionCounter)
+    reverse: DirectionCounter = field(default_factory=DirectionCounter)
+    samples: int = 0
+
+    def observe(self, sample: Any) -> None:
+        """Count one packet-pair sample (anything with ``forward``/``reverse``)."""
+        self.observe_outcomes(sample.forward, sample.reverse)
+
+    def observe_outcomes(self, forward: Any, reverse: Any) -> None:
+        """Count one sample given its per-direction classifications."""
+        self.forward.observe(forward)
+        self.reverse.observe(reverse)
+        self.samples += 1
+
+    def merge(self, other: "ReorderCounter") -> None:
+        """Fold another stream's counts into this one."""
+        self.forward.merge(other.forward)
+        self.reverse.merge(other.reverse)
+        self.samples += other.samples
+
+    def direction(self, direction: Any) -> DirectionCounter:
+        """The counter for one direction (``Direction`` member or wire string)."""
+        name = _as_value(direction)
+        if name == DIRECTION_FORWARD:
+            return self.forward
+        if name == DIRECTION_REVERSE:
+            return self.reverse
+        raise AnalysisError(f"unknown direction: {direction!r}")
+
+    def rate(self, direction: Any) -> Optional[float]:
+        """Reordering-rate point estimate for ``direction``."""
+        return self.direction(direction).rate()
+
+
+class QuantileAccumulator:
+    """Exact, mergeable empirical distribution over streamed values.
+
+    Values are folded into a ``{value: count}`` map, so memory scales with
+    the number of *distinct* values, not observations.  Quantiles, CDF
+    evaluation, and staircase points match
+    :class:`~repro.stats.cdf.EmpiricalCdf` over the equivalent flat sample
+    exactly — :meth:`to_cdf` materializes that equivalence when a caller
+    needs the full object.
+    """
+
+    __slots__ = ("_counts", "_count", "_sorted")
+
+    def __init__(self, values: Iterable[float] = ()) -> None:
+        self._counts: dict[float, int] = {}
+        self._count = 0
+        self._sorted: Optional[tuple[list[float], list[int]]] = None
+        for value in values:
+            self.add(value)
+
+    def add(self, value: float, count: int = 1) -> None:
+        """Observe ``value`` ``count`` times."""
+        if count < 1:
+            raise AnalysisError(f"observation count must be positive: {count}")
+        value = float(value)
+        self._counts[value] = self._counts.get(value, 0) + count
+        self._count += count
+        self._sorted = None
+
+    def merge(self, other: "QuantileAccumulator") -> None:
+        """Fold another accumulator's counts into this one."""
+        for value, count in other._counts.items():
+            self._counts[value] = self._counts.get(value, 0) + count
+        self._count += other._count
+        self._sorted = None
+
+    def __len__(self) -> int:
+        return self._count
+
+    def _ordered(self) -> tuple[list[float], list[int]]:
+        """Distinct values ascending, with parallel cumulative counts."""
+        if self._sorted is None:
+            values = sorted(self._counts)
+            cumulative: list[int] = []
+            total = 0
+            for value in values:
+                total += self._counts[value]
+                cumulative.append(total)
+            self._sorted = (values, cumulative)
+        return self._sorted
+
+    def quantile(self, q: float) -> float:
+        """Smallest observed value v with CDF(v) >= q (matches ``EmpiricalCdf``)."""
+        if self._count == 0:
+            raise AnalysisError("cannot take a quantile of an empty accumulator")
+        rank = quantile_index(q, self._count) + 1  # 1-based target rank
+        values, cumulative = self._ordered()
+        return values[bisect_left(cumulative, rank)]
+
+    def evaluate(self, x: float) -> float:
+        """P(X <= x) under the accumulated empirical distribution."""
+        if self._count == 0:
+            raise AnalysisError("cannot evaluate an empty accumulator")
+        values, cumulative = self._ordered()
+        index = bisect_right(values, x)
+        if index == 0:
+            return 0.0
+        return cumulative[index - 1] / self._count
+
+    def fraction_above(self, x: float) -> float:
+        """P(X > x) — e.g. the fraction of paths with any reordering."""
+        return 1.0 - self.evaluate(x)
+
+    def points(self) -> list[tuple[float, float]]:
+        """Distinct-value staircase points (value, cumulative fraction)."""
+        values, cumulative = self._ordered()
+        return [(value, count / self._count) for value, count in zip(values, cumulative)]
+
+    def to_cdf(self) -> EmpiricalCdf:
+        """Materialize the equivalent :class:`EmpiricalCdf` (exact expansion)."""
+        if self._count == 0:
+            raise AnalysisError("cannot build a CDF from an empty accumulator")
+        flat: list[float] = []
+        for value in sorted(self._counts):
+            flat.extend([value] * self._counts[value])
+        return EmpiricalCdf(flat)
+
+
+__all__ = [
+    "DirectionCounter",
+    "QuantileAccumulator",
+    "ReorderCounter",
+]

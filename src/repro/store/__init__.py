@@ -1,0 +1,41 @@
+"""Durable, append-only campaign storage with checkpointed, resumable runs.
+
+The multi-day survey the paper describes (§IV-B) — and the ROADMAP's
+million-path scale — cannot afford to lose a campaign to a crash, a
+preemption, or a Ctrl-C.  :class:`CampaignStore` persists a campaign shard
+by shard as JSONL segments under an index/manifest;
+:class:`~repro.core.runner.CampaignRunner` checkpoints into it as each
+shard completes and resumes from the last durable shard, reproducing the
+uninterrupted run's merged :func:`~repro.core.runner.result_signature`
+bit for bit.  ``docs/architecture.md`` ("Durability & resume") documents
+the on-disk format and the commit protocol.
+"""
+
+from repro.store.codec import (
+    FORMAT_VERSION,
+    decode_measurement,
+    decode_record,
+    decode_report,
+    decode_sample,
+    encode_measurement,
+    encode_record,
+    encode_report,
+    encode_sample,
+)
+from repro.store.store import MANIFEST_NAME, CampaignPlan, CampaignStore, specs_digest
+
+__all__ = [
+    "CampaignPlan",
+    "CampaignStore",
+    "FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "decode_measurement",
+    "decode_record",
+    "decode_report",
+    "decode_sample",
+    "encode_measurement",
+    "encode_record",
+    "encode_report",
+    "encode_sample",
+    "specs_digest",
+]

@@ -1,0 +1,133 @@
+"""JSON codec for campaign records: exact, reversible, stdlib-only.
+
+The durable campaign store persists :class:`~repro.core.campaign.HostRoundResult`
+records as JSON objects (one per JSONL line).  The encoding is *lossless*:
+``decode_record(json.loads(json.dumps(encode_record(r))))`` reconstructs a
+record equal to the original, field for field.  Floats survive because
+:mod:`json` serializes them with ``repr`` (the shortest round-tripping form)
+and parses them back with ``float``; enums travel as their ``value`` strings;
+tuples of packet uids are restored as tuples.
+
+That exactness is what makes resume *bit-identical*: a campaign merged from
+stored shards plus freshly executed shards has the same
+:func:`~repro.core.runner.result_signature` as an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from repro.core.campaign import HostRoundResult
+from repro.core.prober import ProbeReport, TestName
+from repro.core.sample import MeasurementResult, ReorderSample, SampleOutcome
+from repro.net.errors import StoreError
+
+FORMAT_VERSION = 1
+"""On-disk format version stamped into every manifest."""
+
+
+def encode_sample(sample: ReorderSample) -> dict:
+    """Encode one packet-pair sample."""
+    return {
+        "index": sample.index,
+        "time": sample.time,
+        "spacing": sample.spacing,
+        "forward": sample.forward.value,
+        "reverse": sample.reverse.value,
+        "detail": sample.detail,
+        "probe_uids": list(sample.probe_uids),
+        "response_uids": list(sample.response_uids),
+    }
+
+
+def decode_sample(data: Mapping[str, Any]) -> ReorderSample:
+    """Decode one packet-pair sample."""
+    return ReorderSample(
+        index=data["index"],
+        time=data["time"],
+        spacing=data["spacing"],
+        forward=SampleOutcome(data["forward"]),
+        reverse=SampleOutcome(data["reverse"]),
+        detail=data["detail"],
+        probe_uids=tuple(data["probe_uids"]),
+        response_uids=tuple(data["response_uids"]),
+    )
+
+
+def encode_measurement(result: MeasurementResult) -> dict:
+    """Encode one technique's batch of samples."""
+    return {
+        "test_name": result.test_name,
+        "host_address": result.host_address,
+        "start_time": result.start_time,
+        "end_time": result.end_time,
+        "spacing": result.spacing,
+        "notes": result.notes,
+        "samples": [encode_sample(sample) for sample in result.samples],
+    }
+
+
+def decode_measurement(data: Mapping[str, Any]) -> MeasurementResult:
+    """Decode one technique's batch of samples."""
+    return MeasurementResult(
+        test_name=data["test_name"],
+        host_address=data["host_address"],
+        start_time=data["start_time"],
+        end_time=data["end_time"],
+        spacing=data["spacing"],
+        notes=data["notes"],
+        samples=[decode_sample(sample) for sample in data["samples"]],
+    )
+
+
+def encode_report(report: ProbeReport) -> dict:
+    """Encode one measurement attempt."""
+    return {
+        "test": report.test.value,
+        "host_address": report.host_address,
+        "result": None if report.result is None else encode_measurement(report.result),
+        "error": report.error,
+        "ineligible": report.ineligible,
+    }
+
+
+def decode_report(data: Mapping[str, Any]) -> ProbeReport:
+    """Decode one measurement attempt."""
+    result = data["result"]
+    return ProbeReport(
+        test=TestName(data["test"]),
+        host_address=data["host_address"],
+        result=None if result is None else decode_measurement(result),
+        error=data["error"],
+        ineligible=data["ineligible"],
+    )
+
+
+def encode_record(record: HostRoundResult) -> dict:
+    """Encode one (round, host, test) campaign record."""
+    return {
+        "round_index": record.round_index,
+        "host_address": record.host_address,
+        "test": record.test.value,
+        "time": record.time,
+        "scenario": record.scenario,
+        "report": encode_report(record.report),
+    }
+
+
+def decode_record(data: Mapping[str, Any]) -> HostRoundResult:
+    """Decode one (round, host, test) campaign record."""
+    return HostRoundResult(
+        round_index=data["round_index"],
+        host_address=data["host_address"],
+        test=TestName(data["test"]),
+        time=data["time"],
+        report=decode_report(data["report"]),
+        scenario=data["scenario"],
+    )
+
+
+def require(condition: bool, message: str, cause: Optional[Exception] = None) -> None:
+    """Raise :class:`~repro.net.errors.StoreError` unless ``condition`` holds."""
+    if not condition:
+        raise StoreError(message) from cause

@@ -1,0 +1,507 @@
+"""The durable, append-only campaign store.
+
+A store is a directory holding one campaign's measurements as they become
+durable, shard by shard:
+
+* ``manifest.json`` — the campaign *plan* (everything needed to re-execute
+  or verify the run: config, tests, seed, shard count, host addresses, a
+  digest of the host specs) plus an index of committed segments.
+* ``shard-00000.jsonl`` … — one JSONL *segment* per completed shard.  The
+  first line is a header (``{"shard": i, "host_addresses": [...],
+  "records": n}``); each following line is one encoded
+  :class:`~repro.core.campaign.HostRoundResult`.
+
+Commit protocol
+---------------
+Segments are written to a temporary file, flushed, fsynced, and renamed into
+place — the rename is the commit point, so a segment either exists complete
+or not at all.  The manifest index is then rewritten the same way.  A crash
+between the two renames leaves an *orphan* segment (durable but unindexed);
+:meth:`CampaignStore.open` validates and re-adopts orphans, so the commit
+point for shard durability is the segment rename alone.  Nothing is ever
+modified in place; a resumed run only adds new segments.
+
+Determinism
+-----------
+The codec (:mod:`repro.store.codec`) is lossless, so records read back from
+a store are equal — signature-bit-for-bit — to the records the shard
+produced in memory.  Combined with the runner's shard determinism this gives
+the resume guarantee: interrupt a campaign after any shard boundary, resume
+it, and the merged :func:`~repro.core.runner.result_signature` is identical
+to an uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator, Optional, Sequence
+
+from repro.core.campaign import CampaignConfig, CampaignResult, HostRoundResult
+from repro.core.prober import TestName
+from repro.net.errors import StoreError
+from repro.store.codec import FORMAT_VERSION, decode_record, encode_record, require
+
+MANIFEST_NAME = "manifest.json"
+_SEGMENT_RE = re.compile(r"^shard-(\d{5})\.jsonl$")
+
+
+def _segment_name(index: int) -> str:
+    return f"shard-{index:05d}.jsonl"
+
+
+def _dumps(obj: Any) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def _fsync_directory(path: Path) -> None:
+    """Flush directory metadata so a rename survives power loss (best effort)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without directory opens
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - filesystem without dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` with a tmp-file + fsync + rename commit."""
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except OSError as exc:
+        raise StoreError(f"cannot write {path}: {exc}") from exc
+    _fsync_directory(path.parent)
+
+
+_MEMORY_ADDRESS_RE = re.compile(r"0x[0-9a-fA-F]+")
+
+
+def specs_digest(specs: Sequence[Any]) -> str:
+    """Stable digest of a host-spec list, used to guard mismatched resumes.
+
+    ``HostSpec`` trees are dataclasses of primitives plus the occasional
+    callable (e.g. ``OsProfile.ipid_policy_factory``), whose default ``repr``
+    embeds a process-local memory address.  Addresses are normalized away so
+    the digest is a pure function of the spec *values* (field values and
+    callable qualnames) across processes and Python invocations — which is
+    what lets a resumed run verify it rebuilt the same population.
+    """
+    canonical = _MEMORY_ADDRESS_RE.sub("0x0", repr(tuple(specs)))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+@dataclass(frozen=True, slots=True)
+class CampaignPlan:
+    """Everything that fixes a campaign's merged dataset, in storable form.
+
+    Two runs with equal plans (and the same host specs, witnessed by
+    ``specs_digest``) produce bit-identical merged signatures, which is why
+    resume refuses to proceed when the plan on disk differs from the one the
+    resuming runner derived.  ``origin`` is a free-form description of how
+    the host specs were built (e.g. a registry scenario name and population
+    size) so ``python -m repro resume`` can rebuild them from the manifest
+    alone.
+    """
+
+    seed: int
+    shards: int
+    remote_port: int
+    scenario: Optional[str]
+    tests: tuple[TestName, ...]
+    config: CampaignConfig
+    specs_digest: str
+    host_addresses: tuple[int, ...]
+    origin: Optional[dict] = None
+
+    def to_mapping(self) -> dict:
+        return {
+            "seed": self.seed,
+            "shards": self.shards,
+            "remote_port": self.remote_port,
+            "scenario": self.scenario,
+            "tests": [test.value for test in self.tests],
+            "config": self.config.to_mapping(),
+            "specs_digest": self.specs_digest,
+            "host_addresses": list(self.host_addresses),
+            "origin": self.origin,
+        }
+
+    @classmethod
+    def from_mapping(cls, mapping: dict) -> "CampaignPlan":
+        try:
+            return cls(
+                seed=mapping["seed"],
+                shards=mapping["shards"],
+                remote_port=mapping["remote_port"],
+                scenario=mapping["scenario"],
+                tests=tuple(TestName(value) for value in mapping["tests"]),
+                config=CampaignConfig.from_mapping(mapping["config"]),
+                specs_digest=mapping["specs_digest"],
+                host_addresses=tuple(mapping["host_addresses"]),
+                origin=mapping["origin"],
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise StoreError(f"malformed campaign plan in manifest: {exc}") from exc
+
+    def differences(self, other: "CampaignPlan") -> list[str]:
+        """Names of fields on which two plans disagree (empty == compatible)."""
+        ours, theirs = self.to_mapping(), other.to_mapping()
+        return sorted(key for key in ours if ours[key] != theirs[key])
+
+
+class CampaignStore:
+    """One campaign's durable segments plus its manifest."""
+
+    def __init__(self, root: os.PathLike | str) -> None:
+        self.root = Path(root)
+        self._plan: Optional[CampaignPlan] = None
+        self._segments: dict[int, str] = {}
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / MANIFEST_NAME
+
+    def _ensure_root(self) -> None:
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise StoreError(f"cannot create store directory {self.root}: {exc}") from exc
+
+    @classmethod
+    def create(cls, root: os.PathLike | str, plan: CampaignPlan) -> "CampaignStore":
+        """Initialise a fresh store directory for ``plan``."""
+        store = cls(root)
+        require(
+            not store.manifest_path.exists(),
+            f"store already exists at {store.root}; open() or resume it instead",
+        )
+        store._ensure_root()
+        store._plan = plan
+        store._segments = {}
+        store._write_manifest()
+        return store
+
+    @classmethod
+    def open(cls, root: os.PathLike | str) -> "CampaignStore":
+        """Open an existing store, validating and adopting orphan segments."""
+        store = cls(root)
+        require(
+            store.manifest_path.exists(),
+            f"no campaign store at {store.root} (missing {MANIFEST_NAME})",
+        )
+        store._load_manifest()
+        store._recover_orphans()
+        return store
+
+    def begin(self, plan: CampaignPlan, *, resume: bool = False) -> frozenset[int]:
+        """Bind a runner's plan to this store and report durable shards.
+
+        Creates the manifest when the store is fresh.  When the store already
+        holds data, the stored plan must match ``plan`` exactly, and any
+        committed shards require ``resume=True`` (so a caller cannot silently
+        mix two different runs into one directory).  Returns the set of shard
+        indices that are already durable and need not be re-executed.
+        """
+        if not self.manifest_path.exists():
+            self._ensure_root()
+            self._plan = plan
+            self._segments = {}
+            self._write_manifest()
+            return frozenset()
+        self._load_manifest()
+        self._recover_orphans()
+        stored = self.plan()
+        mismatched = stored.differences(plan)
+        require(
+            not mismatched,
+            "stored campaign plan does not match the resuming runner "
+            f"(differs on: {', '.join(mismatched)})",
+        )
+        completed = self.completed_shards()
+        require(
+            resume or not completed,
+            f"store at {self.root} already holds {len(completed)} shard(s); "
+            "pass resume=True to continue the interrupted run",
+        )
+        return completed
+
+    # ------------------------------------------------------------------ #
+    # Reads
+    # ------------------------------------------------------------------ #
+
+    def plan(self) -> CampaignPlan:
+        if self._plan is None:
+            self._load_manifest()
+            self._recover_orphans()
+        assert self._plan is not None
+        return self._plan
+
+    def completed_shards(self) -> frozenset[int]:
+        """Indices of shards whose segments are durable."""
+        self.plan()  # ensure the manifest is loaded
+        return frozenset(self._segments)
+
+    def is_complete(self) -> bool:
+        """True when every shard of the plan has a durable segment."""
+        return len(self.completed_shards()) == self.plan().shards
+
+    def read_shard(self, index: int) -> "ShardOutcome":
+        """Load one shard's outcome back from its segment."""
+        from repro.core.runner import ShardOutcome
+
+        name = self._segments.get(index)
+        require(name is not None, f"shard {index} is not durable in {self.root}")
+        header, records = self._read_segment(self.root / name)
+        require(
+            header.get("shard") == index,
+            f"segment {name} claims shard {header.get('shard')!r}, expected {index}",
+        )
+        addresses = header.get("host_addresses")
+        require(
+            isinstance(addresses, list),
+            f"segment {name} has a malformed host_addresses header",
+        )
+        return ShardOutcome(
+            index=index,
+            host_addresses=tuple(addresses),
+            records=records,
+        )
+
+    def iter_records(self) -> Iterator[HostRoundResult]:
+        """Stream every durable record, one at a time, in shard-index order.
+
+        This is the streaming-aggregation entry point: only one decoded
+        record is alive at a time, so survey-scale stores can be analysed
+        without materializing every sample in memory.
+        """
+        for index in sorted(self.completed_shards()):
+            path = self.root / self._segments[index]
+            for record in self._iter_segment_records(path):
+                yield record
+
+    def load_result(self) -> CampaignResult:
+        """Materialize the full merged dataset in canonical order.
+
+        Requires a complete store: merging a partial campaign would silently
+        present a subset as the whole survey.
+        """
+        from repro.core.runner import merge_records
+
+        plan = self.plan()
+        require(
+            self.is_complete(),
+            f"store at {self.root} is incomplete "
+            f"({len(self.completed_shards())}/{plan.shards} shards durable)",
+        )
+        return merge_records(
+            self.iter_records(),
+            config=plan.config,
+            host_addresses=plan.host_addresses,
+            tests=plan.tests,
+            scenario=plan.scenario,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Writes
+    # ------------------------------------------------------------------ #
+
+    def write_shard(self, outcome: "ShardOutcome") -> None:
+        """Commit one shard's records as a durable segment.
+
+        Re-committing an already durable shard is rejected: segments are
+        append-only and immutable once renamed into place.
+        """
+        plan = self.plan()
+        require(
+            0 <= outcome.index < plan.shards,
+            f"shard index {outcome.index} outside plan of {plan.shards} shard(s)",
+        )
+        require(
+            outcome.index not in self._segments,
+            f"shard {outcome.index} is already durable in {self.root}",
+        )
+        name = _segment_name(outcome.index)
+        header = {
+            "shard": outcome.index,
+            "host_addresses": list(outcome.host_addresses),
+            "records": len(outcome.records),
+        }
+        lines = [_dumps(header)]
+        lines.extend(_dumps(encode_record(record)) for record in outcome.records)
+        _atomic_write_text(self.root / name, "\n".join(lines) + "\n")
+        self._segments[outcome.index] = name
+        self._write_manifest()
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _write_manifest(self) -> None:
+        assert self._plan is not None
+        manifest = {
+            "format": FORMAT_VERSION,
+            "plan": self._plan.to_mapping(),
+            "segments": {str(index): name for index, name in sorted(self._segments.items())},
+        }
+        _atomic_write_text(self.manifest_path, _dumps(manifest) + "\n")
+
+    def _load_manifest(self) -> None:
+        try:
+            manifest = json.loads(self.manifest_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StoreError(f"cannot read manifest at {self.manifest_path}: {exc}") from exc
+        require(
+            manifest.get("format") == FORMAT_VERSION,
+            f"unsupported store format {manifest.get('format')!r} "
+            f"(this build reads format {FORMAT_VERSION})",
+        )
+        require("plan" in manifest, f"manifest at {self.manifest_path} has no plan")
+        self._plan = CampaignPlan.from_mapping(manifest["plan"])
+        segments: dict[int, str] = {}
+        for key, name in manifest.get("segments", {}).items():
+            try:
+                segments[int(key)] = name
+            except (TypeError, ValueError) as exc:
+                raise StoreError(
+                    f"malformed segment index {key!r} in {self.manifest_path}"
+                ) from exc
+        self._segments = segments
+
+    def _recover_orphans(self) -> None:
+        """Adopt segments committed just before a crash killed the indexer.
+
+        The segment rename is the durability commit point; the manifest index
+        trails it.  Any well-formed ``shard-*.jsonl`` on disk that the index
+        does not know about is therefore a completed shard and is re-indexed.
+        """
+        indexed = set(self._segments.values())
+        adopted = False
+        for path in sorted(self.root.iterdir()):
+            match = _SEGMENT_RE.match(path.name)
+            if not match or path.name in indexed:
+                continue
+            index = int(match.group(1))
+            header = self._validate_segment(path)
+            require(
+                header.get("shard") == index,
+                f"segment {path.name} claims shard {header.get('shard')!r}",
+            )
+            require(
+                index not in self._segments,
+                f"two segments claim shard {index}: "
+                f"{self._segments.get(index)} and {path.name}",
+            )
+            self._segments[index] = path.name
+            adopted = True
+        if adopted:
+            self._write_manifest()
+
+    def _validate_segment(self, path: Path) -> dict:
+        """Check a segment's well-formedness cheaply and return its header.
+
+        Verifies JSON line structure and the header's record count without
+        decoding records into dataclasses — enough to decide durability
+        (the rename commit already guarantees the file is complete).
+        """
+        header: Optional[dict] = None
+        count = 0
+        for line in self._iter_segment_lines(path):
+            if header is None:
+                header = line
+            else:
+                count += 1
+        require(header is not None, f"segment {path.name} is empty")
+        assert header is not None
+        require(
+            header.get("records") == count,
+            f"segment {path.name} is truncated: header promises "
+            f"{header.get('records')} record(s), found {count}",
+        )
+        return header
+
+    def _decode_record(self, payload: dict, path: Path) -> HostRoundResult:
+        try:
+            return decode_record(payload)
+        except (KeyError, ValueError, TypeError) as exc:
+            raise StoreError(f"malformed record in segment {path.name}: {exc}") from exc
+
+    def _read_segment(self, path: Path) -> tuple[dict, list[HostRoundResult]]:
+        header: Optional[dict] = None
+        records: list[HostRoundResult] = []
+        for record in self._iter_segment_lines(path):
+            if header is None:
+                header = record
+            else:
+                records.append(self._decode_record(record, path))
+        require(header is not None, f"segment {path.name} is empty")
+        assert header is not None
+        require(
+            header.get("records") == len(records),
+            f"segment {path.name} is truncated: header promises "
+            f"{header.get('records')} record(s), found {len(records)}",
+        )
+        return header, records
+
+    def _iter_segment_records(self, path: Path) -> Iterator[HostRoundResult]:
+        """Decode a segment's records lazily, verifying the header count."""
+        count = 0
+        header: Optional[dict] = None
+        for line in self._iter_segment_lines(path):
+            if header is None:
+                header = line
+                continue
+            count += 1
+            yield self._decode_record(line, path)
+        require(header is not None, f"segment {path.name} is empty")
+        assert header is not None
+        require(
+            header.get("records") == count,
+            f"segment {path.name} is truncated: header promises "
+            f"{header.get('records')} record(s), found {count}",
+        )
+
+    def _iter_segment_lines(self, path: Path) -> Iterator[dict]:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                for number, line in enumerate(handle, start=1):
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        payload = json.loads(line)
+                    except json.JSONDecodeError as exc:
+                        raise StoreError(
+                            f"corrupt JSON at {path.name}:{number}: {exc}"
+                        ) from exc
+                    require(
+                        isinstance(payload, dict),
+                        f"non-object line at {path.name}:{number}",
+                    )
+                    yield payload
+        except OSError as exc:
+            raise StoreError(f"cannot read segment {path}: {exc}") from exc
+
+
+__all__ = [
+    "CampaignPlan",
+    "CampaignStore",
+    "MANIFEST_NAME",
+    "specs_digest",
+]

@@ -59,3 +59,59 @@ def test_parser_defaults_match_documented_surface():
     assert args.scenario == "imc2002-survey"
     assert args.shards == 1
     assert args.seed == 7
+
+
+def test_run_subcommand_equals_legacy_flags(capsys):
+    argv = [
+        "--scenario", "bursty-loss",
+        "--hosts", "4",
+        "--seed", "3",
+        "--rounds", "1",
+        "--samples", "4",
+        "--executor", "serial",
+    ]
+    assert main(["run", *argv]) == 0
+    with_subcommand = capsys.readouterr().out
+    assert main(argv) == 0
+    assert capsys.readouterr().out == with_subcommand
+    assert "result-digest=" in with_subcommand
+
+
+def test_run_with_store_then_report_and_resume(tmp_path, capsys):
+    store = str(tmp_path / "campaign")
+    argv = [
+        "run",
+        "--scenario", "imc2002-survey",
+        "--hosts", "4",
+        "--seed", "11",
+        "--rounds", "1",
+        "--samples", "4",
+        "--shards", "2",
+        "--executor", "serial",
+        "--store", store,
+    ]
+    assert main(argv) == 0
+    run_out = capsys.readouterr().out
+    digest = [l for l in run_out.splitlines() if l.startswith("result-digest=")][0]
+
+    assert main(["report", "--store", store]) == 0
+    report_out = capsys.readouterr().out
+    assert "shards=2/2 (complete)" in report_out
+    assert digest in report_out
+    assert "Host eligibility by technique" in report_out
+
+    # Resuming a complete store re-executes nothing and reprints the digest.
+    assert main(["resume", "--store", store, "--executor", "serial"]) == 0
+    resume_out = capsys.readouterr().out
+    assert "2/2 shard(s) already durable" in resume_out
+    assert digest in resume_out
+
+
+def test_resume_without_store_is_an_error(tmp_path, capsys):
+    assert main(["resume", "--store", str(tmp_path / "missing")]) == 1
+    assert "store error" in capsys.readouterr().err
+
+
+def test_crash_flag_requires_store(capsys):
+    assert main(["run", "--crash-after-shards", "1"]) == 2
+    assert "--crash-after-shards requires --store" in capsys.readouterr().err

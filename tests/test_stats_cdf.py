@@ -68,3 +68,23 @@ def test_merge_cdfs_pools_samples():
 def test_merge_cdfs_empty_list_rejected():
     with pytest.raises(AnalysisError):
         merge_cdfs([])
+
+
+def test_cdf_quantile_exact_multiples_do_not_overshoot():
+    """Regression: round(q*n + 0.5) rounds half to even, so exact-integer
+    q*n (e.g. 0.75 * 4) overshot by one order statistic."""
+    cdf = EmpiricalCdf([1, 2, 3, 4])
+    assert cdf.quantile(0.25) == 1
+    assert cdf.quantile(0.5) == 2
+    assert cdf.quantile(0.75) == 3
+    assert cdf.quantile(1.0) == 4
+
+
+def test_cdf_quantile_is_smallest_value_with_cdf_at_least_q():
+    for n in range(1, 12):
+        values = list(range(1, n + 1))
+        cdf = EmpiricalCdf(values)
+        for numerator in range(0, 4 * n + 1):
+            q = numerator / (4 * n)
+            expected = next(v for v in values if cdf.evaluate(v) >= q)
+            assert cdf.quantile(q) == expected, (n, q)

@@ -61,3 +61,22 @@ def test_arbitrary_confidence_uses_bisection():
     low, high = wilson_interval(10, 100, confidence=0.93)
     low95, high95 = wilson_interval(10, 100, confidence=0.95)
     assert (high - low) < (high95 - low95)
+
+
+def test_bisected_quantiles_are_memoized():
+    """Regression: every out-of-table confidence re-ran a 200-step bisection;
+    streaming aggregation asks per checkpoint, so computed values are cached."""
+    from repro.stats import intervals
+
+    confidence = 0.9321
+    intervals._Z_CACHE.pop(confidence, None)  # tolerate earlier in-process runs
+    try:
+        first = intervals._z_for_confidence(confidence)
+        assert intervals._Z_CACHE[confidence] == first
+        # Cache integrity: the memoized entry is exactly what a fresh
+        # bisection yields, and a second call returns it unchanged.
+        assert intervals._z_for_confidence(confidence) == first
+        intervals._Z_CACHE.pop(confidence)
+        assert intervals._z_for_confidence(confidence) == first
+    finally:
+        intervals._Z_CACHE.pop(confidence, None)

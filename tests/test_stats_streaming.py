@@ -1,0 +1,115 @@
+"""Streaming accumulators: exactness against the batch statistics and the
+merge law (partitioned observation == interleaved observation)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.sample import Direction, ReorderSample, SampleOutcome
+from repro.net.errors import AnalysisError
+from repro.stats.cdf import EmpiricalCdf
+from repro.stats.intervals import binomial_estimate
+from repro.stats.streaming import DirectionCounter, QuantileAccumulator, ReorderCounter
+
+outcomes = st.sampled_from(SampleOutcome)
+
+
+def _sample(index, forward, reverse):
+    return ReorderSample(
+        index=index, time=float(index), spacing=0.0, forward=forward, reverse=reverse
+    )
+
+
+@given(st.lists(st.tuples(outcomes, outcomes), max_size=40))
+def test_reorder_counter_matches_batch_counts(pairs):
+    counter = ReorderCounter()
+    for index, (forward, reverse) in enumerate(pairs):
+        counter.observe(_sample(index, forward, reverse))
+    assert counter.samples == len(pairs)
+    for direction, tally in ((Direction.FORWARD, counter.forward), (Direction.REVERSE, counter.reverse)):
+        values = [f if direction is Direction.FORWARD else r for f, r in pairs]
+        valid = sum(1 for v in values if v.is_valid())
+        reordered = sum(1 for v in values if v is SampleOutcome.REORDERED)
+        assert tally.valid == valid
+        assert tally.reordered == reordered
+        assert tally.total == len(pairs)
+        if valid:
+            assert counter.rate(direction) == reordered / valid
+            assert tally.estimate() == binomial_estimate(reordered, valid)
+        else:
+            assert counter.rate(direction) is None
+            assert tally.estimate() is None
+
+
+@given(st.lists(st.tuples(outcomes, outcomes), max_size=30), st.integers(0, 30))
+def test_reorder_counter_merge_law(pairs, cut):
+    cut = min(cut, len(pairs))
+    whole = ReorderCounter()
+    for index, (f, r) in enumerate(pairs):
+        whole.observe_outcomes(f, r)
+    left, right = ReorderCounter(), ReorderCounter()
+    for f, r in pairs[:cut]:
+        left.observe_outcomes(f, r)
+    for f, r in pairs[cut:]:
+        right.observe_outcomes(f, r)
+    left.merge(right)
+    assert left == whole
+
+
+def test_counters_accept_wire_strings():
+    counter = DirectionCounter()
+    counter.observe("reordered")
+    counter.observe("in-order")
+    counter.observe(SampleOutcome.LOST)
+    assert (counter.reordered, counter.in_order, counter.lost) == (1, 1, 1)
+    with pytest.raises(AnalysisError):
+        counter.observe("sideways")
+    both = ReorderCounter()
+    both.observe_outcomes("reordered", "lost")
+    assert both.direction("forward").reordered == 1
+    assert both.direction(Direction.REVERSE).lost == 1
+    with pytest.raises(AnalysisError):
+        both.direction("up")
+
+
+rate_values = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@given(st.lists(rate_values, min_size=1, max_size=50))
+def test_quantile_accumulator_matches_empirical_cdf(values):
+    accumulator = QuantileAccumulator(values)
+    cdf = EmpiricalCdf(values)
+    assert len(accumulator) == len(cdf)
+    assert accumulator.to_cdf().values == cdf.values
+    for q in (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0):
+        assert accumulator.quantile(q) == cdf.quantile(q)
+    for x in values + [-1.0, 0.5, 2.0]:
+        assert accumulator.evaluate(x) == cdf.evaluate(x)
+        assert accumulator.fraction_above(x) == cdf.fraction_above(x)
+
+
+@given(st.lists(rate_values, min_size=1, max_size=40), st.integers(0, 40))
+def test_quantile_accumulator_merge_law(values, cut):
+    cut = min(cut, len(values))
+    whole = QuantileAccumulator(values)
+    left, right = QuantileAccumulator(values[:cut]), QuantileAccumulator(values[cut:])
+    left.merge(right)
+    assert left.points() == whole.points()
+    for q in (0.0, 0.5, 0.75, 1.0):
+        assert left.quantile(q) == whole.quantile(q)
+
+
+def test_quantile_accumulator_counts_duplicates_compactly():
+    accumulator = QuantileAccumulator()
+    accumulator.add(0.0, count=1000)
+    accumulator.add(0.25, count=3000)
+    assert len(accumulator) == 4000
+    assert accumulator.quantile(0.25) == 0.0
+    assert accumulator.quantile(0.2500001) == 0.25
+    assert accumulator.points() == [(0.0, 0.25), (0.25, 1.0)]
+    with pytest.raises(AnalysisError):
+        accumulator.add(1.0, count=0)
+    with pytest.raises(AnalysisError):
+        QuantileAccumulator().quantile(0.5)
