@@ -8,10 +8,18 @@ import time
 from pathlib import Path
 from typing import Mapping
 
-#: Default trajectory file, at the repository root.  Every PR from PR 3 on
-#: appends its headline numbers here so performance regressions are visible
-#: in review rather than discovered later.
-DEFAULT_BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR3.json"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+CURRENT_PR_TAG = "PR5"
+"""The tag of the PR currently being benchmarked.
+
+Each PR's headline numbers land in their own ``BENCH_<tag>.json`` at the
+repository root (override the tag with ``$BENCH_TAG``, or the whole path
+with ``$BENCH_OUTPUT``), so earlier PRs' committed trajectories —
+``BENCH_PR3.json`` et al. — stay frozen as history instead of being
+rewritten by every later run.  ``benchmarks/check_regression.py`` gates
+against the newest committed ``BENCH_*.json`` by default.
+"""
 
 
 def run_once(benchmark, func):
@@ -25,16 +33,23 @@ def run_once(benchmark, func):
 
 
 def bench_output_path() -> Path:
-    """Where bench results are recorded: ``$BENCH_OUTPUT`` or the repo root file."""
+    """Where bench results are recorded.
+
+    Precedence: ``$BENCH_OUTPUT`` (explicit file) >  ``$BENCH_TAG``
+    (``BENCH_<tag>.json`` at the repo root) > the current PR's default file.
+    """
     override = os.environ.get("BENCH_OUTPUT")
-    return Path(override) if override else DEFAULT_BENCH_PATH
+    if override:
+        return Path(override)
+    tag = os.environ.get("BENCH_TAG", CURRENT_PR_TAG)
+    return REPO_ROOT / f"BENCH_{tag}.json"
 
 
 def record_bench(experiment: str, metrics: Mapping[str, float]) -> Path:
     """Merge one experiment's metrics into the bench trajectory JSON.
 
     The file maps experiment name -> metric dict.  Existing sections other
-    than ``experiment`` (including the committed ``pre_pr_baseline``) are
+    than ``experiment`` (including any committed ``pre_pr_baseline``) are
     preserved, so successive benchmark runs update their own numbers without
     erasing history.  Returns the path written, for logging.
     """

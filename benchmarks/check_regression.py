@@ -3,7 +3,7 @@
 Usage::
 
     python benchmarks/check_regression.py --fresh bench_fresh.json \
-        [--baseline BENCH_PR3.json] [--threshold 0.30]
+        [--baseline BENCH_PR5.json] [--threshold 0.30]
 
 Only the best-of-N *serial-engine* throughput metrics are gated
 (``events_per_sec``, ``hosts_per_sec``, ``measurements_per_sec_serial``):
@@ -18,12 +18,13 @@ The CI workflow therefore gates successive runs of the *same runner class*
 against each other (previous run's JSON restored from the actions cache),
 using the committed file only as a same-machine fallback.
 
-When no ``--baseline`` is given, the baseline is read from the **committed**
-``BENCH_PR3.json`` (``git show HEAD:BENCH_PR3.json``) rather than the
-working-tree file: running the benchmarks locally rewrites the working-tree
-file in place, and gating against the numbers a possibly-regressed run just
-wrote would neutralise the gate.  The working-tree file is only used when
-git is unavailable.
+When no ``--baseline`` is given, the baseline is the **newest committed**
+``BENCH_*.json`` (highest PR number, read via ``git show HEAD:...``) rather
+than a working-tree file: each PR records into its own ``BENCH_<tag>.json``
+(see ``benchmarks/bench_helpers.py``), and running the benchmarks locally
+rewrites the current PR's working-tree file in place — gating against the
+numbers a possibly-regressed run just wrote would neutralise the gate.  The
+working tree is only consulted when git is unavailable.
 
 Exit status: 0 when no gated metric regressed, 1 otherwise.
 """
@@ -32,12 +33,13 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import subprocess
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-DEFAULT_BASELINE_NAME = "BENCH_PR3.json"
+_BENCH_NAME_RE = re.compile(r"^BENCH_PR(\d+)\.json$")
 
 #: Best-of-N serial-engine statistics: stable enough to gate at 30%.
 GATED_METRICS = ("events_per_sec", "hosts_per_sec", "measurements_per_sec_serial")
@@ -77,19 +79,45 @@ def compare(fresh: dict, baseline: dict, threshold: float) -> list[str]:
     return failures
 
 
+def _newest_bench_name(names) -> "str | None":
+    """The ``BENCH_PR<n>.json`` with the highest PR number, if any."""
+    best: "tuple[int, str] | None" = None
+    for name in names:
+        match = _BENCH_NAME_RE.match(name)
+        if match:
+            key = (int(match.group(1)), name)
+            if best is None or key > best:
+                best = key
+    return best[1] if best else None
+
+
 def load_committed_baseline() -> dict:
-    """Read the baseline as last committed (HEAD), not as on disk."""
+    """Read the newest committed ``BENCH_*.json`` (HEAD), not the work tree."""
     try:
+        listing = subprocess.run(
+            ["git", "ls-tree", "--name-only", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.split()
+        name = _newest_bench_name(listing)
+        if name is None:
+            raise ValueError("no BENCH_PR*.json committed at HEAD")
         blob = subprocess.run(
-            ["git", "show", f"HEAD:{DEFAULT_BASELINE_NAME}"],
+            ["git", "show", f"HEAD:{name}"],
             cwd=REPO_ROOT,
             capture_output=True,
             text=True,
             check=True,
         ).stdout
+        print(f"baseline: committed {name} (newest at HEAD)")
         return json.loads(blob)
     except (OSError, subprocess.CalledProcessError, ValueError):
-        path = REPO_ROOT / DEFAULT_BASELINE_NAME
+        name = _newest_bench_name(p.name for p in REPO_ROOT.glob("BENCH_PR*.json"))
+        if name is None:
+            raise SystemExit("no BENCH_PR*.json baseline found (git or work tree)")
+        path = REPO_ROOT / name
         print(f"note: falling back to working-tree baseline {path}")
         return json.loads(path.read_text())
 
@@ -98,7 +126,7 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--fresh", required=True, type=Path, help="bench JSON from this run")
     parser.add_argument("--baseline", type=Path, default=None,
-                        help="baseline JSON (default: committed BENCH_PR3.json at HEAD)")
+                        help="baseline JSON (default: newest committed BENCH_PR*.json at HEAD)")
     parser.add_argument("--threshold", type=float, default=0.30,
                         help="allowed fractional drop before failing (default 0.30)")
     args = parser.parse_args(argv)

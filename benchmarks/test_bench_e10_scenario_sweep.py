@@ -25,7 +25,8 @@ from repro.analysis.scenarios import compare_scenarios
 from repro.core.campaign import CampaignConfig
 from repro.core.prober import TestName
 from repro.core.runner import EXECUTOR_PROCESS, EXECUTOR_SERIAL, result_signature
-from repro.scenarios import MIXED_OS, ScenarioMatrix, run_matrix, scenario_names
+from repro.api import MatrixRequest, Session
+from repro.scenarios import MIXED_OS, ScenarioMatrix, scenario_names
 
 TINY = bool(os.environ.get("E10_TINY"))
 
@@ -52,10 +53,10 @@ gate.  The tiny (CI-gated) config affords more repeats."""
 
 def _sweep(executor: str):
     matrix = ScenarioMatrix.of(SCENARIOS, OS_NAMES)
+    request = MatrixRequest(matrix=matrix, config=CONFIG, hosts=HOSTS, seed=SEED, shards=SHARDS)
     start = time.perf_counter()
-    outcome = run_matrix(
-        matrix, CONFIG, hosts=HOSTS, seed=SEED, shards=SHARDS, executor=executor
-    )
+    with Session(backend=executor) as session:
+        outcome = session.run(request).payload
     return outcome, time.perf_counter() - start
 
 

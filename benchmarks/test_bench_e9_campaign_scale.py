@@ -64,7 +64,7 @@ def _run():
     runner = CampaignRunner(
         specs, CONFIG, seed=SEED, shards=SHARDS, executor=EXECUTOR_PROCESS
     )
-    sharded = runner.run()
+    sharded = runner.execute()
     sharded_elapsed = time.perf_counter() - start
 
     return serial, serial_elapsed, events_processed, sharded, sharded_elapsed

@@ -25,7 +25,8 @@ import pstats
 from repro.core.campaign import CampaignConfig
 from repro.core.prober import TestName
 from repro.core.runner import EXECUTOR_SERIAL
-from repro.scenarios import MIXED_OS, ScenarioMatrix, run_matrix, scenario_names
+from repro.api import MatrixRequest, Session
+from repro.scenarios import MIXED_OS, ScenarioMatrix, scenario_names
 
 SEED = 1302
 
@@ -52,16 +53,13 @@ def main() -> None:
     )
     matrix = ScenarioMatrix.of(scenario_names()[:3], (MIXED_OS,))
 
+    request = MatrixRequest(
+        matrix=matrix, config=config, hosts=args.hosts, seed=SEED, shards=args.shards
+    )
     profiler = cProfile.Profile()
     profiler.enable()
-    outcome = run_matrix(
-        matrix,
-        config,
-        hosts=args.hosts,
-        seed=SEED,
-        shards=args.shards,
-        executor=EXECUTOR_SERIAL,
-    )
+    with Session(backend=EXECUTOR_SERIAL) as session:
+        outcome = session.run(request).payload
     profiler.disable()
 
     stream = io.StringIO()

@@ -13,10 +13,9 @@ from __future__ import annotations
 import tempfile
 from pathlib import Path
 
-from repro import CampaignConfig
+from repro import CampaignConfig, CampaignRequest, ResumeRequest, Session
 from repro.analysis.streaming import survey_from_store
-from repro.core.runner import EXECUTOR_SERIAL, result_digest
-from repro.scenarios import resume_scenario, run_scenario
+from repro.core.runner import EXECUTOR_SERIAL
 from repro.store import CampaignStore
 
 SCENARIO = "route-flap"
@@ -44,10 +43,11 @@ def main() -> None:
 
     print(f"running {SCENARIO} into {store_dir} (crashing after 1 shard)...")
     try:
-        run_scenario(
-            SCENARIO, config, hosts=HOSTS, seed=SEED, shards=SHARDS,
-            executor=EXECUTOR_SERIAL, store=store_dir, on_checkpoint=crash_after(1),
-        )
+        with Session(backend=EXECUTOR_SERIAL) as session:
+            session.run(CampaignRequest(
+                scenario=SCENARIO, config=config, hosts=HOSTS, seed=SEED,
+                shards=SHARDS, store=store_dir, on_checkpoint=crash_after(1),
+            ))
         raise SystemExit("expected the injected crash")
     except Preempted:
         pass
@@ -57,14 +57,13 @@ def main() -> None:
     print(f"crashed; store holds shard(s) {durable} of {store.plan().shards}")
 
     print("resuming from the manifest alone...")
-    resumed = resume_scenario(store_dir, executor=EXECUTOR_SERIAL)
-
-    reference = run_scenario(
-        SCENARIO, config, hosts=HOSTS, seed=SEED, shards=SHARDS,
-        executor=EXECUTOR_SERIAL,
-    )
-    digest = result_digest(resumed.result)
-    assert digest == result_digest(reference.result), "resume must be bit-identical"
+    with Session(backend=EXECUTOR_SERIAL) as session:
+        resumed = session.run(ResumeRequest(store=store_dir))
+        reference = session.run(CampaignRequest(
+            scenario=SCENARIO, config=config, hosts=HOSTS, seed=SEED, shards=SHARDS,
+        ))
+    digest = resumed.result_digest
+    assert digest == reference.result_digest, "resume must be bit-identical"
     print(f"resumed dataset is bit-identical to an uninterrupted run: {digest[:16]}…")
 
     print("\nstreaming report straight off the store:")

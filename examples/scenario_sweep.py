@@ -9,9 +9,15 @@ Run with:  PYTHONPATH=src python examples/scenario_sweep.py
 
 from __future__ import annotations
 
-from repro import CampaignConfig, ScenarioMatrix, TestName, run_matrix, run_scenario
+from repro import (
+    CampaignConfig,
+    CampaignRequest,
+    MatrixRequest,
+    ScenarioMatrix,
+    Session,
+    TestName,
+)
 from repro.analysis import compare_scenarios, slice_by_scenario
-from repro.core.runner import result_signature
 from repro.scenarios import MIXED_OS, get_scenario, scenario_names
 
 SEED = 11
@@ -27,10 +33,12 @@ CONFIG = CampaignConfig(
 
 def main() -> None:
     print("== every named scenario, end to end ==")
-    runs = [
-        run_scenario(name, CONFIG, hosts=8, seed=SEED, shards=2)
-        for name in scenario_names()
-    ]
+    with Session(backend="process") as session:
+        runs = [
+            session.run(CampaignRequest(scenario=name, config=CONFIG,
+                                        hosts=8, seed=SEED, shards=2))
+            for name in scenario_names()
+        ]
     print(compare_scenarios(slice_by_scenario(runs)).to_table())
 
     print()
@@ -38,8 +46,12 @@ def main() -> None:
     matrix = ScenarioMatrix.of(
         ["route-flap", "diurnal-congestion"], [MIXED_OS, "freebsd-4.4", "linux-2.4"]
     )
-    sweep = run_matrix(matrix, CONFIG, hosts=6, seed=SEED, shards=2)
-    print(compare_scenarios(sweep.results()).to_table())
+    with Session(backend="process") as session:
+        sweep = session.run(
+            MatrixRequest(matrix=matrix, config=CONFIG, hosts=6, seed=SEED,
+                          shards=2, parallel_cells=True)
+        )
+    print(compare_scenarios(sweep.payload.results()).to_table())
 
     print()
     print("== composition and reproducibility ==")
@@ -48,9 +60,13 @@ def main() -> None:
         .with_population(num_hosts=6, load_balanced_fraction=0.0)
         .renamed("bursty-loss-small")
     )
-    one = run_scenario(custom, CONFIG, seed=SEED, shards=1, executor="serial")
-    four = run_scenario(custom, CONFIG, seed=SEED, shards=4)
-    assert result_signature(one.result) == result_signature(four.result)
+    with Session(backend="serial") as session:
+        one = session.run(CampaignRequest(scenario=custom, config=CONFIG,
+                                          seed=SEED, shards=1))
+    with Session(backend="process") as session:
+        four = session.run(CampaignRequest(scenario=custom, config=CONFIG,
+                                           seed=SEED, shards=4))
+    assert one.result_digest == four.result_digest
     print("custom scenario dataset identical across 1 and 4 shards "
           f"({len(one.result.records)} records)")
 

@@ -44,7 +44,7 @@ def main() -> None:
     ):
         runner = CampaignRunner(specs, config, seed=SEED, shards=shards, executor=executor)
         start = time.perf_counter()
-        result = runner.run()
+        result = runner.execute()
         elapsed = time.perf_counter() - start
         rate = len(result.records) / elapsed
         print(f"{label:20s} {len(result.records)} measurements in {elapsed:6.2f} s "

@@ -10,14 +10,31 @@ stacks, middleboxes) the techniques are validated and evaluated against.
 Quickstart
 ----------
 
->>> from repro import quick_testbed, SingleConnectionTest, Direction
->>> testbed = quick_testbed(forward_swap_probability=0.1, seed=3)
->>> test = SingleConnectionTest(testbed.probe, testbed.address_of("target"))
->>> result = test.run(num_samples=50)
->>> 0.0 <= result.reordering_rate(Direction.FORWARD) <= 1.0
+The :mod:`repro.api` session layer is the front door: build a typed request,
+submit it to a :class:`~repro.api.session.Session`, read the result envelope.
+
+>>> from repro import Direction, ProbeRequest, Session, TestName
+>>> with Session(backend="serial") as session:
+...     envelope = session.run(ProbeRequest(samples=50, seed=3,
+...                                         forward_swap_probability=0.1))
+>>> report = envelope.payload[TestName.SINGLE_CONNECTION]
+>>> 0.0 <= report.result.reordering_rate(Direction.FORWARD) <= 1.0
 True
+
+The lower layers (``quick_testbed`` + per-technique test classes,
+``CampaignRunner``) remain available for direct use.
 """
 
+from repro.api import (
+    CampaignRequest,
+    JobHandle,
+    JobStatus,
+    MatrixRequest,
+    ProbeRequest,
+    ResultEnvelope,
+    ResumeRequest,
+    Session,
+)
 from repro.core import (
     Campaign,
     CampaignConfig,
@@ -69,6 +86,7 @@ __version__ = "1.0.0"
 __all__ = [
     "Campaign",
     "CampaignConfig",
+    "CampaignRequest",
     "CampaignResult",
     "CampaignRunner",
     "DataTransferTest",
@@ -77,6 +95,9 @@ __all__ = [
     "HostSpec",
     "IpidClass",
     "IpidValidationReport",
+    "JobHandle",
+    "JobStatus",
+    "MatrixRequest",
     "MeasurementResult",
     "NetworkScenario",
     "OS_PROFILES",
@@ -85,11 +106,15 @@ __all__ = [
     "PopulationSpec",
     "ProbeHost",
     "ProbeReport",
+    "ProbeRequest",
     "Prober",
     "RemoteHost",
     "ReorderSample",
+    "ResultEnvelope",
+    "ResumeRequest",
     "SampleOutcome",
     "ScenarioMatrix",
+    "Session",
     "Simulator",
     "SingleConnectionTest",
     "SpacingSweep",

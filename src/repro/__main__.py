@@ -8,15 +8,18 @@ Subcommands::
     python -m repro report --store runs/flap
     python -m repro run --list-scenarios
 
-``run`` executes a survey through the sharded
-:class:`~repro.core.runner.CampaignRunner`; with ``--store`` it checkpoints
-every completed shard durably, so a crashed or killed run continues with
+The CLI is a thin veneer over the :mod:`repro.api` session layer: ``run``
+submits a :class:`~repro.api.requests.CampaignRequest` and ``resume`` a
+:class:`~repro.api.requests.ResumeRequest` to a
+:class:`~repro.api.session.Session`, printing the summary tables plus the
+envelope's ``result-digest`` line.  With ``--store`` a run checkpoints every
+completed shard durably, so a crashed or killed run continues with
 ``resume`` from the last durable shard — the resumed result's printed
 ``result-digest`` is bit-identical to an uninterrupted run's.  ``report``
 streams an existing store's records through
 :class:`~repro.analysis.streaming.StreamingSurvey` without re-running (or
 fully materializing) anything.  The legacy flag-style invocation
-(``python -m repro --scenario ...``) still works and means ``run``.
+(``python -m repro --scenario ...``) still works, means ``run``, and warns.
 
 Output is deterministic for a fixed ``(--scenario, --hosts, --seed,
 --shards)``.
@@ -28,15 +31,19 @@ import argparse
 import os
 import signal
 import sys
+import warnings
 from typing import Optional, Sequence
 
 from repro.analysis.scenarios import compare_scenarios
 from repro.analysis.streaming import survey_from_store
 from repro.analysis.survey import summarize_eligibility
+from repro.api.backends import backend_names
+from repro.api.envelope import ResultEnvelope
+from repro.api.requests import CampaignRequest, ResumeRequest
+from repro.api.session import Session
 from repro.core.campaign import CampaignConfig
-from repro.core.runner import _EXECUTORS, EXECUTOR_PROCESS, result_digest
+from repro.core.runner import EXECUTOR_PROCESS, result_digest
 from repro.net.errors import StoreError
-from repro.scenarios.matrix import resume_scenario, run_scenario
 from repro.scenarios.registry import LEGACY_SCENARIO, list_scenarios, scenario_names
 from repro.store.store import CampaignStore
 
@@ -61,9 +68,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--executor",
-        choices=_EXECUTORS,
+        choices=backend_names(),
         default=EXECUTOR_PROCESS,
-        help="shard executor (default: process)",
+        help="execution backend (default: process)",
     )
     parser.add_argument(
         "--store",
@@ -102,7 +109,8 @@ def _list_scenarios() -> None:
         print(f"  {scenario.description}")
 
 
-def _print_result(scenario_name: str, seed: int, shards: int, result) -> None:
+def _print_envelope(scenario_name: str, seed: int, shards: int, envelope: ResultEnvelope) -> None:
+    result = envelope.result
     print(
         f"scenario={scenario_name} hosts={len(result.host_addresses)} "
         f"seed={seed} shards={shards} records={len(result.records)}"
@@ -112,7 +120,7 @@ def _print_result(scenario_name: str, seed: int, shards: int, result) -> None:
     print()
     print(compare_scenarios({result.scenario or scenario_name: result}).to_table())
     print()
-    print(f"result-digest={result_digest(result)}")
+    print(f"result-digest={envelope.result_digest}")
 
 
 def _crash_hook(crash_after: Optional[int]):
@@ -144,22 +152,22 @@ def cmd_run(argv: Sequence[str]) -> int:
         print("--crash-after-shards requires --store", file=sys.stderr)
         return 2
 
-    config = CampaignConfig(rounds=args.rounds, samples_per_measurement=args.samples)
+    request = CampaignRequest(
+        scenario=args.scenario,
+        config=CampaignConfig(rounds=args.rounds, samples_per_measurement=args.samples),
+        hosts=args.hosts,
+        seed=args.seed,
+        shards=args.shards,
+        store=args.store,
+        on_checkpoint=_crash_hook(args.crash_after_shards),
+    )
     try:
-        run = run_scenario(
-            args.scenario,
-            config,
-            hosts=args.hosts,
-            seed=args.seed,
-            shards=args.shards,
-            executor=args.executor,
-            store=args.store,
-            on_checkpoint=_crash_hook(args.crash_after_shards),
-        )
+        with Session(backend=args.executor) as session:
+            envelope = session.run(request)
     except StoreError as error:
         print(f"store error: {error}", file=sys.stderr)
         return 1
-    _print_result(args.scenario, args.seed, args.shards, run.result)
+    _print_envelope(args.scenario, args.seed, args.shards, envelope)
     return 0
 
 
@@ -170,9 +178,9 @@ def cmd_resume(argv: Sequence[str]) -> int:
     )
     parser.add_argument(
         "--executor",
-        choices=_EXECUTORS,
+        choices=backend_names(),
         default=EXECUTOR_PROCESS,
-        help="shard executor for the remaining shards (default: process)",
+        help="execution backend for the remaining shards (default: process)",
     )
     args = parser.parse_args(argv)
     try:
@@ -180,12 +188,13 @@ def cmd_resume(argv: Sequence[str]) -> int:
         already = len(store.completed_shards())
         plan = store.plan()
         print(f"resuming: {already}/{plan.shards} shard(s) already durable")
-        run = resume_scenario(store, executor=args.executor)
+        with Session(backend=args.executor) as session:
+            envelope = session.run(ResumeRequest(store=store))
     except StoreError as error:
         print(f"store error: {error}", file=sys.stderr)
         return 1
-    scenario_name = plan.scenario or run.scenario.name
-    _print_result(scenario_name, plan.seed, plan.shards, run.result)
+    scenario_name = plan.scenario or envelope.scenario or "unnamed"
+    _print_envelope(scenario_name, plan.seed, plan.shards, envelope)
     return 0
 
 
@@ -239,6 +248,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if argv and argv[0] in _COMMANDS:
         return _COMMANDS[argv[0]](argv[1:])
     # Legacy spelling: bare flags mean `run`.
+    warnings.warn(
+        "bare-flag invocation is a legacy entry point; use "
+        "`python -m repro run ...` instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return cmd_run(argv)
 
 

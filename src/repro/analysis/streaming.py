@@ -261,8 +261,32 @@ def survey_from_store(store: "CampaignStore") -> StreamingSurvey:
     return stream_survey(store.iter_records(), host_addresses=store.plan().host_addresses)
 
 
+def survey_from_envelope(envelope) -> StreamingSurvey:
+    """Stream a session result envelope's records into a survey summary.
+
+    Accepts a ``campaign`` envelope (one dataset) or a ``matrix`` envelope
+    (every cell's records, with per-scenario slices keyed by cell label) —
+    the shape :meth:`repro.api.session.Session.run` hands back.
+
+    For matrix envelopes, read per-cell numbers from
+    :meth:`StreamingSurvey.scenario_slices`: matrix cells rebuild their
+    populations at the same host addresses, so the *top-level* per-path
+    aggregates (eligibility flags, mean rates) merge same-addressed hosts
+    from different cells — an all-cells roll-up, not a per-cell view.
+    """
+    from repro.api.envelope import KIND_CAMPAIGN, ResultEnvelope
+
+    if not isinstance(envelope, ResultEnvelope):
+        raise TypeError(f"expected a ResultEnvelope, got {type(envelope).__name__}")
+    hosts: tuple[int, ...] = ()
+    if envelope.kind == KIND_CAMPAIGN:
+        hosts = envelope.result.host_addresses
+    return stream_survey(envelope.iter_records(), host_addresses=hosts)
+
+
 __all__ = [
     "StreamingSurvey",
     "stream_survey",
+    "survey_from_envelope",
     "survey_from_store",
 ]

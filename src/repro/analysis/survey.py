@@ -61,8 +61,15 @@ class EligibilitySummary:
         return table + suffix
 
 
-def summarize_eligibility(campaign: CampaignResult) -> EligibilitySummary:
-    """Summarise host eligibility and measurement-level reordering prevalence."""
+def summarize_eligibility(campaign) -> EligibilitySummary:
+    """Summarise host eligibility and measurement-level reordering prevalence.
+
+    Accepts a :class:`~repro.core.campaign.CampaignResult` or a campaign
+    :class:`~repro.api.envelope.ResultEnvelope` straight from a session.
+    """
+    from repro.api.envelope import unwrap_result
+
+    campaign = unwrap_result(campaign)
     summary = EligibilitySummary(total_hosts=len(campaign.host_addresses))
     for test in TestName.all():
         summary.ineligible[test] = len(campaign.ineligible_hosts(test))
@@ -107,5 +114,5 @@ def run_sharded_survey(
         executor=executor,
         max_workers=max_workers,
     )
-    result = runner.run()
+    result = runner.execute()
     return SurveyRun(result=result, summary=summarize_eligibility(result))

@@ -1,0 +1,386 @@
+"""Pluggable execution backends: the pool code behind every front door.
+
+Before the :mod:`repro.api` layer existed, :class:`~repro.core.runner.
+CampaignRunner` owned its :mod:`concurrent.futures` plumbing outright, and
+every other surface (the scenario matrix, the CLI) rebuilt glue around it.
+This module extracts that plumbing behind one small interface so that a
+single backend — and, for the thread/process backends, a single warm pool —
+can be shared across campaigns, matrix cells, and resumed runs alike.
+
+Three backends ship built in, matching the runner's historical executor
+names: ``serial`` (inline execution), ``thread``
+(:class:`~concurrent.futures.ThreadPoolExecutor`), and ``process``
+(:class:`~concurrent.futures.ProcessPoolExecutor`).  Additional backends can
+be registered with :func:`register_backend` and selected by name anywhere an
+executor name is accepted.
+
+Two execution shapes cover every caller:
+
+* :meth:`ExecutionBackend.map_shards` / :meth:`ExecutionBackend.iter_shards`
+  run one campaign's :class:`~repro.core.runner.ShardTask` list — ordered
+  barrier map and completion-order iteration respectively.  The process
+  backend keeps PR 3's pickling optimisation: when its pool was created for
+  the same run-wide :class:`~repro.core.runner.ShardContext`, tasks travel
+  as bare ``(index, specs)`` slices through the pool initializer's stashed
+  context; a reused pool serving a *different* campaign falls back to
+  shipping whole tasks (still correct, marginally more pickling).
+* :meth:`ExecutionBackend.map_items` runs arbitrary picklable work items —
+  the scenario matrix uses it to execute whole cells in parallel.
+
+Failure discipline: backends raise the pool-infrastructure exceptions in
+:data:`POOL_FAILURES` (no semaphores in a sandbox, fork restrictions, broken
+workers) and nothing else of their own; the campaign runner catches exactly
+those and re-executes the remaining shards inline, because shard tasks are
+pure functions.  Exceptions raised *by the work itself* propagate unwrapped.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from abc import ABC, abstractmethod
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
+from pickle import PicklingError
+from typing import Callable, Iterator, Optional, Sequence, TypeVar
+
+from repro.core.runner import (
+    ShardContext,
+    ShardOutcome,
+    ShardTask,
+    _init_shard_worker,
+    _run_shard_slice,
+    run_shard,
+)
+from repro.net.errors import MeasurementError
+
+_ItemT = TypeVar("_ItemT")
+_ResultT = TypeVar("_ResultT")
+
+POOL_FAILURES = (OSError, PicklingError, BrokenExecutor, RuntimeError)
+"""Pool-infrastructure failures that justify an inline serial retry.
+
+``RuntimeError`` covers the stdlib's "cannot schedule new futures after
+shutdown" raised when a shared pool is reset/closed underneath a concurrent
+job.  Including it is safe for correctness: shard tasks are pure functions,
+so a ``RuntimeError`` raised by the *work itself* simply re-raises from the
+inline retry (one redundant execution in that pathological case, never a
+wrong result).
+"""
+
+
+def _shard_context(task: ShardTask) -> ShardContext:
+    """The run-wide half of a campaign, recovered from any of its tasks."""
+    return ShardContext(
+        config=task.config,
+        tests=task.tests,
+        seed=task.seed,
+        remote_port=task.remote_port,
+        scenario=task.scenario,
+    )
+
+
+class ExecutionBackend(ABC):
+    """Where work runs: an execution strategy with an optionally warm pool.
+
+    A backend may be handed to any number of campaigns and matrix sweeps
+    before being closed; the thread and process backends create their pool
+    lazily on first use and keep it warm across calls, which is what lets a
+    matrix sweep amortise worker spin-up over all of its cells.  Backends are
+    context managers; :meth:`close` is idempotent.
+
+    Executor choice never affects *what is measured* — shard tasks and
+    matrix cells are pure functions of their inputs — only where and how
+    concurrently they run.
+    """
+
+    #: Registry name; also what :attr:`CampaignRunner.executor` reports.
+    name: str = "abstract"
+
+    @abstractmethod
+    def map_shards(self, tasks: Sequence[ShardTask]) -> list[ShardOutcome]:
+        """Run every shard task, returning outcomes in task order."""
+
+    @abstractmethod
+    def iter_shards(self, tasks: Sequence[ShardTask]) -> Iterator[ShardOutcome]:
+        """Yield shard outcomes in completion order.
+
+        Closing the iterator early cancels work that has not started;
+        already-running work is allowed to finish in the background.
+        """
+
+    @abstractmethod
+    def map_items(
+        self, fn: Callable[[_ItemT], _ResultT], items: Sequence[_ItemT]
+    ) -> list[_ResultT]:
+        """Run ``fn`` over arbitrary work items, preserving item order."""
+
+    def close(self) -> None:
+        """Release pool resources.  Idempotent; the serial backend is a no-op."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class SerialBackend(ExecutionBackend):
+    """Inline execution on the calling thread — the determinism reference."""
+
+    name = "serial"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        # Accepted for signature uniformity; a serial backend has one worker.
+        self.max_workers = 1
+
+    def map_shards(self, tasks: Sequence[ShardTask]) -> list[ShardOutcome]:
+        return [run_shard(task) for task in tasks]
+
+    def iter_shards(self, tasks: Sequence[ShardTask]) -> Iterator[ShardOutcome]:
+        for task in tasks:
+            yield run_shard(task)
+
+    def map_items(
+        self, fn: Callable[[_ItemT], _ResultT], items: Sequence[_ItemT]
+    ) -> list[_ResultT]:
+        return [fn(item) for item in items]
+
+
+class _PoolBackend(ExecutionBackend):
+    """Shared machinery for the thread and process backends.
+
+    Pool lifecycle (creation, broken-pool reset, close) is serialized by a
+    reentrant lock because a :class:`repro.api.Session` runs each submitted
+    job on its own worker thread against the one shared backend.  Work
+    submission itself needs no extra locking — the stdlib executors are
+    thread-safe.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        self.max_workers = max_workers
+        self._pool: Optional[Executor] = None
+        self._workers = 0
+        self._pool_lock = threading.RLock()
+
+    def _worker_count(self) -> int:
+        """Pool width: the explicit cap, else one worker per core.
+
+        The stdlib executors spawn workers lazily on demand, so sizing to
+        the machine costs a small job nothing while leaving headroom for a
+        later large job on the same warm pool.
+        """
+        return self.max_workers or os.cpu_count() or 1
+
+    def _create_pool(self) -> Executor:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _ensure_pool(self) -> Executor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._workers = self._worker_count()
+                self._pool = self._create_pool()
+            return self._pool
+
+    def _reset_broken_pool(self) -> None:
+        """Discard a broken pool so the next call starts a fresh one.
+
+        A per-run pool could simply be abandoned; a shared backend must not
+        keep serving a corpse to every later campaign.
+        """
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None
+
+    def _submit_shard(self, pool: Executor, task: ShardTask):
+        return pool.submit(run_shard, task)
+
+    def iter_shards(self, tasks: Sequence[ShardTask]) -> Iterator[ShardOutcome]:
+        if not tasks:
+            return
+        pool = self._ensure_pool()
+        futures = [self._submit_shard(pool, task) for task in tasks]
+        try:
+            for future in as_completed(futures):
+                yield future.result()
+        except BrokenExecutor:
+            self._reset_broken_pool()
+            raise
+        finally:
+            # Reached on success, pool failure, and early close (the consumer
+            # raised): drop shards that have not started.  The pool itself
+            # stays warm — it may be shared with other work.
+            for future in futures:
+                future.cancel()
+
+    def map_items(
+        self, fn: Callable[[_ItemT], _ResultT], items: Sequence[_ItemT]
+    ) -> list[_ResultT]:
+        if not items:
+            return []
+        pool = self._ensure_pool()
+        try:
+            return list(pool.map(fn, items))
+        except BrokenExecutor:
+            self._reset_broken_pool()
+            raise
+
+    def close(self) -> None:
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+
+class ThreadBackend(_PoolBackend):
+    """A lazily created, reusable :class:`ThreadPoolExecutor`."""
+
+    name = "thread"
+
+    def _create_pool(self) -> Executor:
+        return ThreadPoolExecutor(max_workers=self._workers)
+
+    def map_shards(self, tasks: Sequence[ShardTask]) -> list[ShardOutcome]:
+        if not tasks:
+            return []
+        pool = self._ensure_pool()
+        try:
+            return list(pool.map(run_shard, tasks))
+        except BrokenExecutor:
+            self._reset_broken_pool()
+            raise
+
+
+class ProcessBackend(_PoolBackend):
+    """A lazily created, reusable :class:`ProcessPoolExecutor`.
+
+    The first campaign to touch the backend fixes the pool's worker
+    initializer to its run-wide :class:`ShardContext` (PR 3's
+    pickling-minimisation: per-shard IPC then carries only ``(index,
+    specs)``).  Later campaigns with an *equal* context reuse the fast path;
+    campaigns with a different context — e.g. the other cells of a matrix
+    sweep — ship whole :class:`ShardTask` objects through the same warm pool
+    instead, trading a little pickling for zero worker spin-up.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        super().__init__(max_workers)
+        self._pool_context: Optional[ShardContext] = None
+
+    def _reset_broken_pool(self) -> None:
+        with self._pool_lock:
+            super()._reset_broken_pool()
+            self._pool_context = None
+
+    def _create_pool(self) -> Executor:
+        if self._pool_context is not None:
+            return ProcessPoolExecutor(
+                max_workers=self._workers,
+                initializer=_init_shard_worker,
+                initargs=(self._pool_context,),
+            )
+        return ProcessPoolExecutor(max_workers=self._workers)
+
+    def _ensure_shard_pool(self, tasks: Sequence[ShardTask]) -> tuple[Executor, bool]:
+        """The pool plus whether these tasks may use the stashed-context path."""
+        context = _shard_context(tasks[0])
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool_context = context
+            pool = self._ensure_pool()
+            return pool, self._pool_context == context
+
+    def map_shards(self, tasks: Sequence[ShardTask]) -> list[ShardOutcome]:
+        if not tasks:
+            return []
+        pool, fast = self._ensure_shard_pool(tasks)
+        try:
+            if not fast:
+                return list(pool.map(run_shard, tasks))
+            # Chunking amortises the remaining IPC round-trips when there are
+            # many more shards than workers.
+            slices = [(task.index, task.specs) for task in tasks]
+            chunksize = max(1, len(slices) // (self._workers * 4))
+            return list(pool.map(_run_shard_slice, slices, chunksize=chunksize))
+        except BrokenExecutor:
+            self._reset_broken_pool()
+            raise
+
+    def _submit_shard(self, pool: Executor, task: ShardTask):
+        if self._pool_context == _shard_context(task):
+            return pool.submit(_run_shard_slice, (task.index, task.specs))
+        return pool.submit(run_shard, task)
+
+    def iter_shards(self, tasks: Sequence[ShardTask]) -> Iterator[ShardOutcome]:
+        if not tasks:
+            return iter(())
+        self._ensure_shard_pool(tasks)
+        return super().iter_shards(tasks)
+
+
+# --------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------- #
+
+BackendFactory = Callable[[Optional[int]], ExecutionBackend]
+
+_BACKENDS: dict[str, BackendFactory] = {}
+
+
+def register_backend(
+    name: str, factory: BackendFactory, *, replace: bool = False
+) -> None:
+    """Register an execution backend under ``name``.
+
+    ``factory`` is called as ``factory(max_workers)`` whenever a session,
+    runner, or CLI invocation selects the backend by name.
+    """
+    if name in _BACKENDS and not replace:
+        raise MeasurementError(f"execution backend already registered: {name!r}")
+    _BACKENDS[name] = factory
+
+
+def backend_names() -> tuple[str, ...]:
+    """Registered backend names, in registration order."""
+    return tuple(_BACKENDS)
+
+
+def create_backend(
+    backend: "str | ExecutionBackend", max_workers: Optional[int] = None
+) -> ExecutionBackend:
+    """Resolve a backend name (or pass an instance through) to an instance."""
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    try:
+        factory = _BACKENDS[backend]
+    except KeyError:
+        known = ", ".join(_BACKENDS)
+        raise MeasurementError(
+            f"unknown execution backend {backend!r}; registered: {known}"
+        ) from None
+    return factory(max_workers)
+
+
+register_backend(SerialBackend.name, SerialBackend)
+register_backend(ThreadBackend.name, ThreadBackend)
+register_backend(ProcessBackend.name, ProcessBackend)
+
+
+__all__ = [
+    "POOL_FAILURES",
+    "ExecutionBackend",
+    "ProcessBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "backend_names",
+    "create_backend",
+    "register_backend",
+]

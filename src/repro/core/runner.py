@@ -45,15 +45,8 @@ follow:
 from __future__ import annotations
 
 import hashlib
-import os
-from concurrent.futures import (
-    BrokenExecutor,
-    ProcessPoolExecutor,
-    ThreadPoolExecutor,
-    as_completed,
-)
+import warnings
 from dataclasses import dataclass
-from pickle import PicklingError
 from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
 
 from repro.core.campaign import Campaign, CampaignConfig, CampaignResult, HostRoundResult
@@ -62,7 +55,8 @@ from repro.net.errors import MeasurementError
 from repro.workloads.population import partition_specs
 from repro.workloads.testbed import HostSpec, build_testbed
 
-if TYPE_CHECKING:  # pragma: no cover - type-only import (store sits above core)
+if TYPE_CHECKING:  # pragma: no cover - type-only imports (these sit above core)
+    from repro.api.backends import ExecutionBackend
     from repro.store.store import CampaignPlan, CampaignStore
 
 CheckpointHook = Callable[["ShardOutcome", int, int], None]
@@ -269,11 +263,17 @@ class CampaignRunner:
         Number of partitions.  Shards beyond ``len(specs)`` are dropped
         rather than left empty.
     executor:
-        ``"process"`` (default) for true multi-core execution,
-        ``"thread"`` for :class:`~concurrent.futures.ThreadPoolExecutor`,
-        ``"serial"`` to run shards inline.  If a pool cannot be created or
-        breaks (sandboxes without semaphores, unpicklable platform quirks),
-        the runner falls back to serial execution of the same shard tasks.
+        A backend name from the :mod:`repro.api.backends` registry:
+        ``"process"`` (default) for true multi-core execution, ``"thread"``
+        for a thread pool, ``"serial"`` to run shards inline.  If a pool
+        cannot be created or breaks (sandboxes without semaphores,
+        unpicklable platform quirks), the runner falls back to serial
+        execution of the same shard tasks.
+    backend:
+        An :class:`~repro.api.backends.ExecutionBackend` *instance* to run
+        on, overriding ``executor``.  The runner borrows it (never closes
+        it), which is how a :class:`repro.api.Session` shares one warm pool
+        across many campaigns and matrix cells.
     scenario:
         Optional scenario name stamped on every record and on the merged
         result, so sweep datasets remain self-describing (the scenario layer
@@ -291,23 +291,29 @@ class CampaignRunner:
         executor: str = EXECUTOR_PROCESS,
         max_workers: Optional[int] = None,
         scenario: Optional[str] = None,
+        backend: Optional["ExecutionBackend"] = None,
     ) -> None:
         if not specs:
             raise MeasurementError("campaign runner requires at least one host spec")
         if shards < 1:
             raise MeasurementError(f"campaign runner needs at least one shard: {shards}")
-        if executor not in _EXECUTORS:
-            raise MeasurementError(
-                f"unknown executor {executor!r}; expected one of {_EXECUTORS}"
-            )
+        if backend is None and executor not in _EXECUTORS:
+            from repro.api.backends import backend_names
+
+            if executor not in backend_names():
+                raise MeasurementError(
+                    f"unknown executor {executor!r}; expected one of "
+                    f"{backend_names() or _EXECUTORS}"
+                )
         self.specs = tuple(specs)
         self.config = config or CampaignConfig()
         self.seed = seed
         self.remote_port = remote_port
         self.shards = shards
-        self.executor = executor
+        self.executor = backend.name if backend is not None else executor
         self.max_workers = max_workers
         self.scenario = scenario
+        self._backend = backend
 
     @property
     def host_addresses(self) -> tuple[int, ...]:
@@ -354,6 +360,32 @@ class CampaignRunner:
         origin: Optional[dict] = None,
         on_checkpoint: Optional[CheckpointHook] = None,
     ) -> CampaignResult:
+        """Legacy entry point: identical to :meth:`execute`, with a pointer.
+
+        New code should submit a :class:`repro.api.CampaignRequest` to a
+        :class:`repro.api.Session` (which adds job handles, result
+        envelopes, and backend sharing) or call :meth:`execute` directly.
+        """
+        warnings.warn(
+            "CampaignRunner.run() is a legacy entry point; submit a "
+            "repro.api.CampaignRequest to a repro.api.Session (or call "
+            "CampaignRunner.execute()) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.execute(
+            tests, store=store, resume=resume, origin=origin, on_checkpoint=on_checkpoint
+        )
+
+    def execute(
+        self,
+        tests: Optional[Iterable[TestName]] = None,
+        *,
+        store: Optional["CampaignStore"] = None,
+        resume: bool = False,
+        origin: Optional[dict] = None,
+        on_checkpoint: Optional[CheckpointHook] = None,
+    ) -> CampaignResult:
         """Execute every shard and merge the records into one result.
 
         With a ``store``, the runner checkpoints each shard's records as the
@@ -365,6 +397,10 @@ class CampaignRunner:
         be constructed with the same specs, config, seed, and shard count as
         the original run; the store verifies this against its manifest and
         raises :class:`~repro.net.errors.StoreError` on any mismatch.
+
+        ``on_checkpoint`` fires after every completed shard even without a
+        store (progress observation); with a store it fires only after the
+        shard is durable.
         """
         active_tests = tuple(tests) if tests is not None else self.config.tests
         tasks = [
@@ -379,52 +415,57 @@ class CampaignRunner:
             )
             for index, shard in enumerate(self.shard_plan())
         ]
-        if store is None:
-            return self._merge(self._execute(tasks), active_tests)
-        completed = store.begin(self.plan(active_tests, origin=origin), resume=resume)
-        pending = [task for task in tasks if task.index not in completed]
-        fresh = self._execute_checkpointed(pending, store, on_checkpoint, total=len(tasks))
-        # Shards executed this run merge from memory; only previously durable
-        # shards are read back (the codec is lossless, so both sources yield
-        # signature-identical records).
-        outcomes = [store.read_shard(index) for index in sorted(completed)] + fresh
-        return self._merge(outcomes, active_tests)
+        backend, owned = self._resolve_backend()
+        try:
+            if store is None:
+                if on_checkpoint is None:
+                    return self._merge(self._execute(tasks, backend), active_tests)
+                outcomes: list[ShardOutcome] = []
+                for outcome in self._iter_completed(tasks, backend):
+                    outcomes.append(outcome)
+                    on_checkpoint(outcome, len(outcomes), len(tasks))
+                return self._merge(outcomes, active_tests)
+            completed = store.begin(self.plan(active_tests, origin=origin), resume=resume)
+            pending = [task for task in tasks if task.index not in completed]
+            fresh = self._execute_checkpointed(
+                pending, store, on_checkpoint, total=len(tasks), backend=backend
+            )
+            # Shards executed this run merge from memory; only previously
+            # durable shards are read back (the codec is lossless, so both
+            # sources yield signature-identical records).
+            outcomes = [store.read_shard(index) for index in sorted(completed)] + fresh
+            return self._merge(outcomes, active_tests)
+        finally:
+            if owned:
+                backend.close()
 
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
 
-    def _execute(self, tasks: list[ShardTask]) -> list[ShardOutcome]:
-        if self.executor == EXECUTOR_SERIAL or len(tasks) == 1:
+    def _resolve_backend(self) -> tuple["ExecutionBackend", bool]:
+        """The backend to run on, plus whether this runner owns (closes) it."""
+        if self._backend is not None:
+            return self._backend, False
+        from repro.api.backends import create_backend
+
+        return create_backend(self.executor, self.max_workers), True
+
+    def _execute(
+        self, tasks: list[ShardTask], backend: "ExecutionBackend"
+    ) -> list[ShardOutcome]:
+        if backend.name == EXECUTOR_SERIAL or len(tasks) == 1:
+            # A one-shard campaign never pays pool spin-up, whatever the
+            # backend — shard tasks are pure functions, so where they run
+            # cannot change what they measure.
             return [run_shard(task) for task in tasks]
-        workers = self.max_workers or min(len(tasks), os.cpu_count() or 1)
+        from repro.api.backends import POOL_FAILURES
+
         try:
-            if self.executor == EXECUTOR_PROCESS:
-                # Ship the run-wide context once per worker via the pool
-                # initializer; tasks then carry only (index, specs).  Chunking
-                # amortises the remaining IPC round-trips when there are many
-                # more shards than workers.
-                context = ShardContext(
-                    config=self.config,
-                    tests=tasks[0].tests,
-                    seed=self.seed,
-                    remote_port=self.remote_port,
-                    scenario=self.scenario,
-                )
-                slices = [(task.index, task.specs) for task in tasks]
-                chunksize = max(1, len(slices) // (workers * 4))
-                with ProcessPoolExecutor(
-                    max_workers=workers,
-                    initializer=_init_shard_worker,
-                    initargs=(context,),
-                ) as pool:
-                    return list(pool.map(_run_shard_slice, slices, chunksize=chunksize))
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(run_shard, tasks))
-        except (OSError, PicklingError, BrokenExecutor):
+            return backend.map_shards(tasks)
+        except POOL_FAILURES:
             # Pool infrastructure failure (no semaphores / fork restrictions /
-            # broken workers) — the shards themselves are pure functions, so
-            # rerunning them inline yields the identical result.
+            # broken workers) — rerunning inline yields the identical result.
             return [run_shard(task) for task in tasks]
 
     def _execute_checkpointed(
@@ -434,6 +475,7 @@ class CampaignRunner:
         on_checkpoint: Optional[CheckpointHook],
         *,
         total: int,
+        backend: "ExecutionBackend",
     ) -> list[ShardOutcome]:
         """Run shards, committing each to the store as it completes.
 
@@ -443,41 +485,15 @@ class CampaignRunner:
         order so the caller can merge them without reading them back.
         """
         outcomes: list[ShardOutcome] = []
-        for outcome in self._iter_completed(tasks, store):
+        for outcome in self._iter_completed(tasks, backend):
             store.write_shard(outcome)
             outcomes.append(outcome)
             if on_checkpoint is not None:
                 on_checkpoint(outcome, len(store.completed_shards()), total)
         return outcomes
 
-    def _submit_shards(self, tasks: list[ShardTask]):
-        """Create a pool and submit every shard; returns ``(pool, futures)``."""
-        workers = self.max_workers or min(len(tasks), os.cpu_count() or 1)
-        if self.executor == EXECUTOR_PROCESS:
-            context = ShardContext(
-                config=self.config,
-                tests=tasks[0].tests,
-                seed=self.seed,
-                remote_port=self.remote_port,
-                scenario=self.scenario,
-            )
-            pool = ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_init_shard_worker,
-                initargs=(context,),
-            )
-            submit = lambda task: pool.submit(_run_shard_slice, (task.index, task.specs))
-        else:
-            pool = ThreadPoolExecutor(max_workers=workers)
-            submit = lambda task: pool.submit(run_shard, task)
-        try:
-            return pool, [submit(task) for task in tasks]
-        except BaseException:
-            pool.shutdown(wait=False, cancel_futures=True)
-            raise
-
     def _iter_completed(
-        self, tasks: list[ShardTask], store: "CampaignStore"
+        self, tasks: list[ShardTask], backend: "ExecutionBackend"
     ) -> Iterable[ShardOutcome]:
         """Yield shard outcomes as they complete.
 
@@ -486,34 +502,38 @@ class CampaignRunner:
         propagate out of the ``yield`` and are never mistaken for pool
         infrastructure problems — and closing the generator cancels the
         queued shards rather than running the rest of the campaign first.
-        On pool failure, shards already durable in the store are not re-run;
-        the rest execute inline (shards are pure functions, so the retry
-        yields identical records).
+        On pool failure, shards already yielded are not re-run; the rest
+        execute inline (shards are pure functions, so the retry yields
+        identical records).
         """
         if not tasks:
             return
-        if self.executor != EXECUTOR_SERIAL and len(tasks) > 1:
+        done: set[int] = set()
+        if backend.name != EXECUTOR_SERIAL and len(tasks) > 1:
+            from repro.api.backends import POOL_FAILURES
+
+            iterator = None
             try:
-                pool, futures = self._submit_shards(tasks)
-            except (OSError, PicklingError, BrokenExecutor):
-                pool = None
-            if pool is not None:
-                pool_failed = False
+                iterator = backend.iter_shards(tasks)
+            except POOL_FAILURES:
+                iterator = None
+            pool_failed = False
+            if iterator is not None:
                 try:
-                    for future in as_completed(futures):
-                        yield future.result()
-                except (OSError, PicklingError, BrokenExecutor):
+                    for outcome in iterator:
+                        done.add(outcome.index)
+                        yield outcome
+                except POOL_FAILURES:
                     pool_failed = True
                 finally:
                     # Reached on success, pool failure, *and* generator close
-                    # (consumer raised): drop queued shards either way —
-                    # already-running ones finish, nothing new starts.
-                    pool.shutdown(wait=True, cancel_futures=True)
+                    # (consumer raised): the backend's iterator drops shards
+                    # that have not started; the pool itself stays warm for
+                    # its owner.
+                    iterator.close()
                 if not pool_failed:
                     return
-                tasks = [
-                    task for task in tasks if task.index not in store.completed_shards()
-                ]
+                tasks = [task for task in tasks if task.index not in done]
         for task in tasks:
             yield run_shard(task)
 

@@ -1,23 +1,30 @@
 """Scenario execution and scenario × host-OS sweep matrices.
 
-:func:`run_scenario` is the one-call path from a scenario name (or spec) to a
-merged, scenario-stamped :class:`~repro.core.campaign.CampaignResult` via the
-sharded :class:`~repro.core.runner.CampaignRunner`.  :class:`ScenarioMatrix`
-crosses scenarios with host operating systems and :func:`run_matrix` fans the
-whole grid out through the runner, deriving every cell's seed stably from
-``(base seed, scenario name, OS name)`` so a sweep is reproducible cell by
-cell regardless of execution order or shard count.
+:class:`ScenarioMatrix` crosses scenarios with host operating systems,
+deriving every cell's seed stably from ``(base seed, scenario name, OS
+name)`` so a sweep is reproducible cell by cell regardless of execution
+order or shard count.
+
+:func:`run_scenario`, :func:`resume_scenario`, and :func:`run_matrix` are
+**legacy shims**: they delegate to the unified :class:`repro.api.Session`
+layer (emitting a :class:`DeprecationWarning` that points at the typed
+request to use instead) and keep their historical signatures and return
+types working unchanged.  New code should submit
+:class:`~repro.api.requests.CampaignRequest` /
+:class:`~repro.api.requests.ResumeRequest` /
+:class:`~repro.api.requests.MatrixRequest` objects directly — which also
+unlocks what the shims cannot offer: job handles, result envelopes, shared
+warm pools, and parallel matrix cells.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Optional, Sequence, Union
 
-from repro.net.errors import StoreError
 from repro.scenarios.registry import get_scenario
-from repro.scenarios.population import build_scenario_hosts
 from repro.scenarios.spec import NetworkScenario
 from repro.sim.random import SeededRandom
 
@@ -30,9 +37,10 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports
 EXECUTOR_PROCESS = "process"
 """Default executor name, mirrored from :mod:`repro.core.runner`.
 
-The runner itself is imported lazily inside :func:`run_scenario`: ``core``
-sits *above* ``scenarios`` in the layering (``core.runner`` consumes
-scenario-built populations), so a module-level import here would be a cycle.
+The session layer is imported lazily inside the shim functions: ``api``
+(and ``core`` beneath it) sits *above* ``scenarios`` in the layering
+(``core.runner`` consumes scenario-built populations), so a module-level
+import here would be a cycle.
 """
 
 ScenarioLike = Union[str, NetworkScenario]
@@ -81,62 +89,46 @@ def run_scenario(
     resume: bool = False,
     on_checkpoint: Optional["CheckpointHook"] = None,
 ) -> ScenarioRun:
-    """Build a scenario's population and run it through the sharded runner.
+    """Legacy shim: run one scenario campaign through the session layer.
 
-    The returned records are stamped with the scenario's name (or
-    ``scenario_label``), and the dataset is a pure function of
+    Equivalent to submitting a :class:`repro.api.CampaignRequest` to a
+    :class:`repro.api.Session` — which is what new code should do instead
+    (same dataset, same ``result_digest``, plus a job handle and a result
+    envelope).  The returned records are stamped with the scenario's name
+    (or ``scenario_label``), and the dataset is a pure function of
     ``(scenario, config, hosts, seed, tests, shards)`` — executor choice and
     worker count never change it (see :mod:`repro.core.runner`).
 
-    With ``store`` (a :class:`~repro.store.store.CampaignStore` or a
-    directory path) the run checkpoints each completed shard durably, and the
-    manifest records how the population was built — so an interrupted run can
-    later be continued by :func:`resume_scenario` from the store alone.
-    ``resume=True`` continues such an interrupted run in place.
+    With ``store`` the run checkpoints each completed shard durably so an
+    interrupted run can later be continued by :func:`resume_scenario` (or a
+    :class:`repro.api.ResumeRequest`) from the store alone.
     """
-    from repro.core.runner import CampaignRunner
+    warnings.warn(
+        "run_scenario() is a legacy entry point; submit a "
+        "repro.api.CampaignRequest to a repro.api.Session instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api.requests import CampaignRequest
+    from repro.api.session import Session
 
-    spec = resolve_scenario(scenario)
-    if hosts is not None:
-        spec = spec.with_population(num_hosts=hosts)
-    host_specs = build_scenario_hosts(spec, seed=seed)
-    label = scenario_label or spec.name
-    runner = CampaignRunner(
-        host_specs,
-        config,
+    request = CampaignRequest(
+        scenario=scenario,
+        config=config,
+        hosts=hosts,
         seed=seed,
         shards=shards,
-        executor=executor,
-        max_workers=max_workers,
-        scenario=label,
+        tests=tuple(tests) if tests is not None else None,
+        scenario_label=scenario_label,
+        store=store,
+        resume=resume,
+        on_checkpoint=on_checkpoint,
     )
-    origin = None
-    if store is not None:
-        store = _as_store(store, create=True)
-        origin = {
-            "kind": "scenario",
-            "scenario": spec.name,
-            "hosts": hosts,
-            "seed": seed,
-            "scenario_label": label,
-        }
-    result = runner.run(
-        tests, store=store, resume=resume, origin=origin, on_checkpoint=on_checkpoint
+    with Session(backend=executor, max_workers=max_workers) as session:
+        envelope = session.run(request)
+    return ScenarioRun(
+        scenario=envelope.meta["scenario_spec"], seed=seed, result=envelope.result
     )
-    return ScenarioRun(scenario=spec, seed=seed, result=result)
-
-
-def _as_store(
-    store: Union["CampaignStore", os.PathLike, str], *, create: bool
-) -> "CampaignStore":
-    """Accept a store object or a directory path (created lazily on run)."""
-    from repro.store.store import CampaignStore
-
-    if isinstance(store, CampaignStore):
-        return store
-    if create:
-        return CampaignStore(store)  # begin() writes the manifest on first use
-    return CampaignStore.open(store)
 
 
 def resume_scenario(
@@ -146,48 +138,33 @@ def resume_scenario(
     max_workers: Optional[int] = None,
     on_checkpoint: Optional["CheckpointHook"] = None,
 ) -> ScenarioRun:
-    """Continue an interrupted scenario run from its store alone.
+    """Legacy shim: continue an interrupted scenario run from its store.
 
-    The manifest's ``origin`` records the registry scenario, population size,
-    and seed the run was started with; the population is rebuilt from those
-    (a pure function, so the specs are identical), already-durable shards are
-    loaded back, and only the missing shards execute.  The merged result is
-    bit-identical — same :func:`~repro.core.runner.result_signature` — to the
-    uninterrupted run.  Executor choice is free: it never affects records.
+    Equivalent to submitting a :class:`repro.api.ResumeRequest` — the
+    preferred spelling.  The manifest's ``origin`` records the registry
+    scenario, population size, and seed the run was started with; the
+    population is rebuilt from those (a pure function, so the specs are
+    identical), already-durable shards are loaded back, and only the missing
+    shards execute.  The merged result is bit-identical — same
+    :func:`~repro.core.runner.result_signature` — to the uninterrupted run.
+    Executor choice is free: it never affects records.
     """
-    from repro.core.runner import CampaignRunner
+    warnings.warn(
+        "resume_scenario() is a legacy entry point; submit a "
+        "repro.api.ResumeRequest to a repro.api.Session instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api.requests import ResumeRequest
+    from repro.api.session import Session
 
-    store = _as_store(store, create=False)
-    plan = store.plan()
-    origin = plan.origin or {}
-    if origin.get("kind") != "scenario":
-        raise StoreError(
-            "store was not created by run_scenario (no scenario origin in its "
-            "manifest); resume it with CampaignRunner.run(store=..., resume=True) "
-            "and the original host specs instead"
-        )
-    spec = get_scenario(origin["scenario"])
-    if origin.get("hosts") is not None:
-        spec = spec.with_population(num_hosts=origin["hosts"])
-    host_specs = build_scenario_hosts(spec, seed=origin["seed"])
-    runner = CampaignRunner(
-        host_specs,
-        plan.config,
-        seed=plan.seed,
-        remote_port=plan.remote_port,
-        shards=plan.shards,
-        executor=executor,
-        max_workers=max_workers,
-        scenario=plan.scenario,
+    with Session(backend=executor, max_workers=max_workers) as session:
+        envelope = session.run(ResumeRequest(store=store, on_checkpoint=on_checkpoint))
+    return ScenarioRun(
+        scenario=envelope.meta["scenario_spec"],
+        seed=envelope.meta["seed"],
+        result=envelope.result,
     )
-    result = runner.run(
-        plan.tests,
-        store=store,
-        resume=True,
-        origin=plan.origin,
-        on_checkpoint=on_checkpoint,
-    )
-    return ScenarioRun(scenario=spec, seed=plan.seed, result=result)
 
 
 @dataclass(frozen=True, slots=True)
@@ -267,23 +244,32 @@ def run_matrix(
     max_workers: Optional[int] = None,
     tests: Optional[Iterable[TestName]] = None,
 ) -> MatrixResult:
-    """Run every cell of the matrix through the sharded campaign runner.
+    """Legacy shim: run every cell of the matrix through the session layer.
 
-    Each cell's seed is :func:`derive_cell_seed` of the base seed and the
-    cell key, so adding or removing cells never changes the other cells'
-    datasets.
+    Equivalent to submitting a :class:`repro.api.MatrixRequest` — the
+    preferred spelling, which can also fan independent cells out across the
+    backend with ``parallel_cells=True``.  Each cell's seed is
+    :func:`derive_cell_seed` of the base seed and the cell key, so adding or
+    removing cells never changes the other cells' datasets.  Unlike the
+    pre-session implementation, all cells share one warm worker pool.
     """
-    runs: dict[str, ScenarioRun] = {}
-    for cell in matrix.cells():
-        runs[cell.label] = run_scenario(
-            cell.materialized_scenario(),
-            config,
-            hosts=hosts,
-            seed=derive_cell_seed(seed, cell.scenario.name, cell.os_name),
-            shards=shards,
-            executor=executor,
-            max_workers=max_workers,
-            tests=tests,
-            scenario_label=cell.label,
-        )
-    return MatrixResult(runs=runs)
+    warnings.warn(
+        "run_matrix() is a legacy entry point; submit a "
+        "repro.api.MatrixRequest to a repro.api.Session instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api.requests import MatrixRequest
+    from repro.api.session import Session
+
+    request = MatrixRequest(
+        matrix=matrix,
+        config=config,
+        hosts=hosts,
+        seed=seed,
+        shards=shards,
+        tests=tuple(tests) if tests is not None else None,
+    )
+    with Session(backend=executor, max_workers=max_workers) as session:
+        envelope = session.run(request)
+    return envelope.payload

@@ -1,0 +1,130 @@
+"""Deprecation-shim contract: legacy entry points warn, work, and match.
+
+The CI ``deprecation-shims`` job runs exactly this file with
+``-W error::DeprecationWarning``, so every warning a shim emits must be
+asserted here with ``pytest.warns`` — a shim that stops warning, warns
+twice, or starts warning from the *modern* path fails the job.  Each test
+also checks the shim still produces the same dataset as the session layer
+it delegates to.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.api import CampaignRequest, MatrixRequest, ProbeRequest, ResumeRequest, Session
+from repro.core.campaign import CampaignConfig
+from repro.core.prober import TestName
+from repro.core.runner import EXECUTOR_SERIAL, CampaignRunner, result_digest
+from repro.scenarios import ScenarioMatrix, resume_scenario, run_matrix, run_scenario
+from repro.workloads.population import PopulationSpec, generate_population
+
+CONFIG = CampaignConfig(
+    rounds=1,
+    samples_per_measurement=4,
+    tests=(TestName.SINGLE_CONNECTION, TestName.SYN),
+    inter_measurement_gap=0.2,
+    inter_round_gap=1.0,
+)
+
+
+def _session_digest(request) -> str:
+    with Session(backend=EXECUTOR_SERIAL) as session:
+        return session.run(request).result_digest
+
+
+def test_campaign_runner_run_warns_and_matches_execute():
+    specs = generate_population(PopulationSpec(num_hosts=3), seed=5)
+    runner = CampaignRunner(specs, CONFIG, seed=5, shards=2, executor=EXECUTOR_SERIAL)
+    with pytest.warns(DeprecationWarning, match="CampaignRunner.run"):
+        legacy = runner.run()
+    modern = runner.execute()
+    assert result_digest(legacy) == result_digest(modern)
+
+
+def test_run_scenario_warns_and_matches_campaign_request():
+    with pytest.warns(DeprecationWarning, match="run_scenario"):
+        run = run_scenario(
+            "bursty-loss", CONFIG, hosts=3, seed=9, shards=2, executor=EXECUTOR_SERIAL
+        )
+    assert result_digest(run.result) == _session_digest(
+        CampaignRequest(scenario="bursty-loss", config=CONFIG, hosts=3, seed=9, shards=2)
+    )
+
+
+def test_resume_scenario_warns_and_matches_resume_request(tmp_path):
+    store_a, store_b = tmp_path / "a", tmp_path / "b"
+    for store in (store_a, store_b):
+        with Session(backend=EXECUTOR_SERIAL) as session:
+            session.run(
+                CampaignRequest(
+                    scenario="imc2002-survey", config=CONFIG,
+                    hosts=3, seed=9, shards=2, store=store,
+                )
+            )
+    with pytest.warns(DeprecationWarning, match="resume_scenario"):
+        legacy = resume_scenario(store_a, executor=EXECUTOR_SERIAL)
+    assert result_digest(legacy.result) == _session_digest(ResumeRequest(store=store_b))
+
+
+def test_run_matrix_warns_and_matches_matrix_request():
+    matrix = ScenarioMatrix.of(["imc2002-survey", "bursty-loss"])
+    with pytest.warns(DeprecationWarning, match="run_matrix"):
+        legacy = run_matrix(matrix, CONFIG, hosts=3, seed=9, shards=2, executor=EXECUTOR_SERIAL)
+    with Session(backend=EXECUTOR_SERIAL) as session:
+        envelope = session.run(
+            MatrixRequest(matrix=matrix, config=CONFIG, hosts=3, seed=9, shards=2)
+        )
+    assert set(legacy.runs) == set(envelope.payload.runs)
+    for label, run in legacy.runs.items():
+        assert result_digest(run.result) == result_digest(
+            envelope.payload.runs[label].result
+        )
+
+
+def test_legacy_cli_flags_warn_and_match_the_run_subcommand(capsys):
+    from repro.__main__ import main
+
+    argv = [
+        "--scenario", "bursty-loss", "--hosts", "3", "--seed", "9",
+        "--rounds", "1", "--samples", "4", "--executor", "serial",
+    ]
+    with pytest.warns(DeprecationWarning, match="bare-flag invocation"):
+        assert main(argv) == 0
+    legacy_out = capsys.readouterr().out
+    assert main(["run", *argv]) == 0
+    assert capsys.readouterr().out == legacy_out
+    assert "result-digest=" in legacy_out
+
+
+def test_modern_surface_emits_no_deprecation_warnings():
+    """The session layer (and what it feeds) must stay clean under -W error."""
+    from repro.analysis.survey import run_sharded_survey
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        with Session(backend=EXECUTOR_SERIAL) as session:
+            session.run(ProbeRequest(samples=5, seed=2))
+            session.run(
+                CampaignRequest(scenario="imc2002-survey", config=CONFIG, hosts=2, seed=3)
+            )
+            session.run(
+                MatrixRequest(scenarios=("imc2002-survey",), config=CONFIG, hosts=2, seed=3)
+            )
+        run_sharded_survey(
+            PopulationSpec(num_hosts=2), CONFIG, seed=3, executor=EXECUTOR_SERIAL
+        )
+
+
+def test_modern_cli_subcommands_emit_no_deprecation_warnings(capsys):
+    from repro.__main__ import main
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        assert main([
+            "run", "--scenario", "imc2002-survey", "--hosts", "2", "--seed", "3",
+            "--rounds", "1", "--samples", "4", "--executor", "serial",
+        ]) == 0
+    capsys.readouterr()
