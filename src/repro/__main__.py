@@ -34,6 +34,7 @@ import sys
 import warnings
 from typing import Optional, Sequence
 
+from repro.analysis.middlebox import classify_middleboxes
 from repro.analysis.scenarios import compare_scenarios
 from repro.analysis.streaming import survey_from_store
 from repro.analysis.survey import summarize_eligibility
@@ -91,6 +92,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list registered scenarios and exit",
     )
+    parser.add_argument(
+        "--middlebox-report",
+        action="store_true",
+        help="append the middlebox taxonomy (per-host failure causes) to the summary",
+    )
     return parser
 
 
@@ -109,7 +115,13 @@ def _list_scenarios() -> None:
         print(f"  {scenario.description}")
 
 
-def _print_envelope(scenario_name: str, seed: int, shards: int, envelope: ResultEnvelope) -> None:
+def _print_envelope(
+    scenario_name: str,
+    seed: int,
+    shards: int,
+    envelope: ResultEnvelope,
+    middlebox_report: bool = False,
+) -> None:
     result = envelope.result
     print(
         f"scenario={scenario_name} hosts={len(result.host_addresses)} "
@@ -119,6 +131,9 @@ def _print_envelope(scenario_name: str, seed: int, shards: int, envelope: Result
     print(summarize_eligibility(result).to_table())
     print()
     print(compare_scenarios({result.scenario or scenario_name: result}).to_table())
+    if middlebox_report:
+        print()
+        print(classify_middleboxes(result).to_table())
     print()
     print(f"result-digest={envelope.result_digest}")
 
@@ -167,7 +182,10 @@ def cmd_run(argv: Sequence[str]) -> int:
     except StoreError as error:
         print(f"store error: {error}", file=sys.stderr)
         return 1
-    _print_envelope(args.scenario, args.seed, args.shards, envelope)
+    _print_envelope(
+        args.scenario, args.seed, args.shards, envelope,
+        middlebox_report=args.middlebox_report,
+    )
     return 0
 
 

@@ -8,6 +8,11 @@ from repro.analysis.figures import (
     build_fig6_series,
     build_fig7_series,
 )
+from repro.analysis.middlebox import (
+    HostDiagnosis,
+    MiddleboxTaxonomy,
+    classify_middleboxes,
+)
 from repro.analysis.report import format_table
 from repro.analysis.scenarios import (
     ScenarioComparison,
@@ -31,12 +36,15 @@ __all__ = [
     "AgreementCell",
     "AgreementMatrix",
     "EligibilitySummary",
+    "HostDiagnosis",
+    "MiddleboxTaxonomy",
     "ScenarioComparison",
     "ScenarioSliceSummary",
     "StreamingSurvey",
     "SurveyRun",
     "agreement_by_scenario",
     "build_fig5_cdf",
+    "classify_middleboxes",
     "build_fig6_series",
     "build_fig7_series",
     "compare_scenarios",

@@ -4,6 +4,11 @@ Replies to echo requests with echo replies carrying the same identifier,
 sequence number, and payload.  Replies are stamped with IPIDs from the host's
 shared IP stack, exactly like TCP traffic, because that sharing is an
 observable property of real hosts.
+
+The responder is also the host's sink for ICMP *error* messages (TTL
+exceeded, fragmentation needed, source quench): it tallies them per type so
+analyses can see what the hostile path reported, mirroring how a real stack
+surfaces errors to the socket layer.
 """
 
 from __future__ import annotations
@@ -11,6 +16,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.host.ipid import IpStack
+from repro.net.icmp import IcmpError
 from repro.net.packet import ICMP_ECHO_REPLY, IcmpEcho, Packet
 
 TransmitFn = Callable[[Packet], None]
@@ -25,6 +31,8 @@ class IcmpResponder:
         self.enabled = enabled
         self.requests_seen = 0
         self.replies_sent = 0
+        self.errors_received = 0
+        self.errors_by_type: dict[tuple[int, int], int] = {}
 
     def set_transmit(self, transmit: TransmitFn) -> None:
         """Provide the function used to send replies toward the probe host."""
@@ -36,7 +44,14 @@ class IcmpResponder:
             return
         icmp = packet.icmp
         assert icmp is not None
-        if packet.ip.dst != self._stack.address or not icmp.is_request():
+        if packet.ip.dst != self._stack.address:
+            return
+        if isinstance(icmp, IcmpError):
+            self.errors_received += 1
+            key = (icmp.icmp_type, icmp.code)
+            self.errors_by_type[key] = self.errors_by_type.get(key, 0) + 1
+            return
+        if not icmp.is_request():
             return
         self.requests_seen += 1
         if not self.enabled or self._transmit is None:

@@ -20,6 +20,17 @@ from repro.net.errors import (
     SerializationError,
 )
 from repro.net.flow import FlowKey, FourTuple
+from repro.net.icmp import (
+    CODE_FRAG_NEEDED,
+    ICMP_DEST_UNREACHABLE,
+    ICMP_ERROR_TYPES,
+    ICMP_SOURCE_QUENCH,
+    ICMP_TTL_EXCEEDED,
+    IcmpError,
+    QuotedFlow,
+    parse_icmp_error,
+    quote_packet,
+)
 from repro.net.packet import (
     ICMP_ECHO_REPLY,
     ICMP_ECHO_REQUEST,
@@ -47,13 +58,20 @@ from repro.net.wire import parse_packet, serialize_packet
 
 __all__ = [
     "ChecksumError",
+    "CODE_FRAG_NEEDED",
     "FlowKey",
     "FourTuple",
+    "ICMP_DEST_UNREACHABLE",
     "ICMP_ECHO_REPLY",
     "ICMP_ECHO_REQUEST",
+    "ICMP_ERROR_TYPES",
+    "ICMP_SOURCE_QUENCH",
+    "ICMP_TTL_EXCEEDED",
     "IPv4Header",
     "IcmpEcho",
+    "IcmpError",
     "Packet",
+    "QuotedFlow",
     "PacketError",
     "ParseError",
     "PROTO_ICMP",
@@ -66,7 +84,9 @@ __all__ = [
     "TcpHeader",
     "TcpOption",
     "internet_checksum",
+    "parse_icmp_error",
     "parse_packet",
+    "quote_packet",
     "seq_add",
     "seq_between",
     "seq_diff",

@@ -1,10 +1,16 @@
-"""In-memory packet models: IPv4, TCP, and ICMP echo.
+"""In-memory packet models: IPv4, TCP, and ICMP.
 
 These dataclasses are the currency of the whole library: the probe host
 crafts them, the simulator carries and reorders them, endpoints interpret
 them, and the trace capture records them.  They mirror the real header
 layouts closely enough that :mod:`repro.net.wire` can serialize them to valid
 byte strings.
+
+ICMP comes in two shapes: echo request/reply (:class:`IcmpEcho`, defined
+here) and the error messages routers and middleboxes generate
+(:class:`repro.net.icmp.IcmpError` — TTL exceeded, fragmentation needed,
+source quench).  A :class:`Packet` carries either in its ``icmp`` slot; both
+expose the same ``payload`` / ``header_length()`` / ``is_request()`` shape.
 """
 
 from __future__ import annotations
@@ -12,9 +18,10 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, Union
 
 from repro.net.flow import FourTuple, format_address
+from repro.net.icmp import IcmpError
 
 PROTO_ICMP = 1
 PROTO_TCP = 6
@@ -217,7 +224,7 @@ class Packet:
 
     ip: IPv4Header
     tcp: Optional[TcpHeader] = None
-    icmp: Optional[IcmpEcho] = None
+    icmp: Optional[Union[IcmpEcho, IcmpError]] = None
     payload: bytes = b""
     uid: int = field(default_factory=_next_packet_uid)
     _total_length: Optional[int] = field(default=None, init=False, repr=False, compare=False)
@@ -254,9 +261,26 @@ class Packet:
         ident: int = 0,
         ttl: int = DEFAULT_TTL,
     ) -> "Packet":
-        """Convenience constructor for an ICMP/IPv4 packet."""
+        """Convenience constructor for an ICMP echo/IPv4 packet."""
         ip = IPv4Header(src=src, dst=dst, protocol=PROTO_ICMP, ident=ident, ttl=ttl)
         return cls(ip=ip, icmp=icmp, payload=icmp.payload)
+
+    @classmethod
+    def icmp_error_packet(
+        cls,
+        src: int,
+        dst: int,
+        error: IcmpError,
+        ident: int = 0,
+        ttl: int = DEFAULT_TTL,
+    ) -> "Packet":
+        """Convenience constructor for an ICMP error/IPv4 packet.
+
+        ``src`` is the reporting router or middlebox; ``dst`` is the source
+        of the quoted (offending) packet.
+        """
+        ip = IPv4Header(src=src, dst=dst, protocol=PROTO_ICMP, ident=ident, ttl=ttl)
+        return cls(ip=ip, icmp=error, payload=error.payload)
 
     def is_tcp(self) -> bool:
         """Return True when the packet carries a TCP segment."""
@@ -265,6 +289,10 @@ class Packet:
     def is_icmp(self) -> bool:
         """Return True when the packet carries an ICMP message."""
         return self.icmp is not None
+
+    def is_icmp_error(self) -> bool:
+        """Return True when the packet carries an ICMP error (not an echo)."""
+        return isinstance(self.icmp, IcmpError)
 
     def four_tuple(self) -> FourTuple:
         """Return the directed transport four-tuple (TCP packets only)."""
@@ -312,6 +340,27 @@ class Packet:
         copy._total_length = self._total_length
         return copy
 
+    def with_tcp(self, **changes: object) -> "Packet":
+        """Return a copy of this packet with selected TCP header fields replaced.
+
+        Like :meth:`with_ip` the copy keeps the original ``uid``: a NAT
+        rewriting ports forwards the *same* packet, it does not originate a
+        new one.  The cached length survives only when the options tuple is
+        untouched (port/seq/flag rewrites never change the wire length).
+        """
+        if self.tcp is None:
+            raise ValueError("with_tcp() requires a TCP packet")
+        copy = Packet(
+            ip=self.ip,
+            tcp=replace(self.tcp, **changes),  # type: ignore[arg-type]
+            icmp=None,
+            payload=self.payload,
+            uid=self.uid,
+        )
+        if "options" not in changes:
+            copy._total_length = self._total_length
+        return copy
+
     def clone(self) -> "Packet":
         """Return a copy of this packet with a fresh ``uid`` (a re-send, not a forward)."""
         return Packet(ip=self.ip, tcp=self.tcp, icmp=self.icmp, payload=self.payload)
@@ -326,6 +375,8 @@ class Packet:
                 f"[{self.tcp.flags.describe()}] seq={self.tcp.seq} ack={self.tcp.ack} "
                 f"ipid={self.ip.ident} len={len(self.payload)}"
             )
+        if isinstance(self.icmp, IcmpError):
+            return f"ICMP {src} > {dst} {self.icmp.describe()} ipid={self.ip.ident}"
         if self.icmp is not None:
             kind = "echo-request" if self.icmp.is_request() else "echo-reply"
             return (

@@ -12,6 +12,7 @@ import struct
 
 from repro.net.checksum import internet_checksum, pseudo_header_sum
 from repro.net.errors import ParseError, SerializationError
+from repro.net.icmp import ICMP_ERROR_TYPES, IcmpError, parse_icmp_error
 from repro.net.packet import (
     ICMP_ECHO_REPLY,
     ICMP_ECHO_REQUEST,
@@ -146,11 +147,20 @@ def _serialize_tcp(packet: Packet) -> bytes:
     )
 
 
-def _serialize_icmp(icmp: IcmpEcho) -> bytes:
-    message_without_checksum = (
-        struct.pack(_ICMP_FORMAT, icmp.icmp_type, 0, 0, icmp.identifier, icmp.sequence)
-        + icmp.payload
-    )
+def _serialize_icmp(icmp: "IcmpEcho | IcmpError") -> bytes:
+    if isinstance(icmp, IcmpError):
+        # Errors reuse the echo header layout: the second header word is
+        # (unused16, next-hop-MTU16), where the MTU half is zero except on
+        # fragmentation-needed (RFC 1191).
+        message_without_checksum = (
+            struct.pack(_ICMP_FORMAT, icmp.icmp_type, icmp.code, 0, 0, icmp.next_hop_mtu)
+            + icmp.quoted
+        )
+    else:
+        message_without_checksum = (
+            struct.pack(_ICMP_FORMAT, icmp.icmp_type, 0, 0, icmp.identifier, icmp.sequence)
+            + icmp.payload
+        )
     checksum = internet_checksum(message_without_checksum)
     return (
         message_without_checksum[:2]
@@ -240,10 +250,12 @@ def _parse_tcp(body: bytes) -> tuple[TcpHeader, bytes]:
     return tcp, body[header_length:]
 
 
-def _parse_icmp(body: bytes) -> IcmpEcho:
+def _parse_icmp(body: bytes) -> "IcmpEcho | IcmpError":
     if len(body) < 8:
-        raise ParseError(f"buffer too short for ICMP echo: {len(body)} bytes")
+        raise ParseError(f"buffer too short for ICMP message: {len(body)} bytes")
     icmp_type, code, _checksum, identifier, sequence = struct.unpack(_ICMP_FORMAT, body[:8])
+    if icmp_type in ICMP_ERROR_TYPES:
+        return parse_icmp_error(body)
     if icmp_type not in (ICMP_ECHO_REQUEST, ICMP_ECHO_REPLY) or code != 0:
         raise ParseError(f"unsupported ICMP type/code: {icmp_type}/{code}")
     return IcmpEcho(icmp_type=icmp_type, identifier=identifier, sequence=sequence, payload=body[8:])

@@ -3,9 +3,11 @@
 This package is the repo's answer to "as many scenarios as you can imagine":
 a :class:`NetworkScenario` names a population plus a set of (possibly
 time-varying) path-condition processes, a registry holds the built-in
-catalogue (the paper's ``imc2002-survey`` population and six pathology
-scenarios: bursty loss, route flaps, diurnal congestion, asymmetric paths,
-ICMP-hostile, load-balanced-heavy), and :class:`ScenarioMatrix` /
+catalogue (the paper's ``imc2002-survey`` population, six pathology
+scenarios — bursty loss, route flaps, diurnal congestion, asymmetric paths,
+ICMP-hostile, load-balanced-heavy — and the five hostile-internet middlebox
+scenarios: nat-timeout, syn-filtered, pmtud-blackhole, icmp-policed,
+ecn-bleached), and :class:`ScenarioMatrix` /
 :func:`run_matrix` sweep campaigns across scenario × host-OS grids through
 the sharded campaign runner.
 
@@ -37,9 +39,15 @@ from repro.scenarios.spec import (
     BurstyLossCondition,
     ConditionTemplate,
     DiurnalCongestionCondition,
+    EcnBleachCondition,
+    EcnMarkCondition,
+    IcmpPolicerCondition,
+    NatTimeoutCondition,
     NetworkScenario,
+    PmtudBlackHoleCondition,
     PopulationSpec,
     RouteFlapCondition,
+    SynFirewallCondition,
 )
 
 __all__ = [
@@ -47,7 +55,13 @@ __all__ = [
     "ConditionTemplate",
     "DEFAULT_OS_MIX",
     "DiurnalCongestionCondition",
+    "EcnBleachCondition",
+    "EcnMarkCondition",
+    "IcmpPolicerCondition",
     "LEGACY_SCENARIO",
+    "NatTimeoutCondition",
+    "PmtudBlackHoleCondition",
+    "SynFirewallCondition",
     "MIXED_OS",
     "MatrixCell",
     "MatrixResult",

@@ -113,15 +113,25 @@ def _apply_conditions(
 ) -> PathSpec:
     forward = list(path.forward_conditions)
     reverse = list(path.reverse_conditions)
+    middleboxes = list(path.middleboxes)
     for index, template in enumerate(scenario.conditions):
         if rng.random() >= template.fraction:
+            continue
+        if template.duplex:
+            # A duplex template yields one paired middlebox covering both
+            # directions; it draws from the same per-host stream, after the
+            # same fraction gate, as any other condition.
+            middleboxes.append(template.materialize(rng, stream=f"mbx-cond{index}"))
             continue
         for direction in template.directions:
             prefix = "fwd" if direction == FORWARD else "rev"
             element = template.materialize(rng, stream=f"{prefix}-cond{index}")
             (forward if direction == FORWARD else reverse).append(element)
     return dataclasses.replace(
-        path, forward_conditions=tuple(forward), reverse_conditions=tuple(reverse)
+        path,
+        forward_conditions=tuple(forward),
+        reverse_conditions=tuple(reverse),
+        middleboxes=tuple(middleboxes),
     )
 
 

@@ -17,9 +17,15 @@ from repro.scenarios.spec import (
     REVERSE,
     BurstyLossCondition,
     DiurnalCongestionCondition,
+    EcnBleachCondition,
+    EcnMarkCondition,
+    IcmpPolicerCondition,
+    NatTimeoutCondition,
     NetworkScenario,
+    PmtudBlackHoleCondition,
     PopulationSpec,
     RouteFlapCondition,
+    SynFirewallCondition,
 )
 
 LEGACY_SCENARIO = "imc2002-survey"
@@ -149,5 +155,74 @@ register_scenario(
             "way the paper's popular sites did."
         ),
         population=PopulationSpec(load_balanced_fraction=0.6),
+    )
+)
+
+# ------------------------------------------------------------------ #
+# The hostile-internet middlebox taxonomy (PR 6): each scenario puts a
+# majority of the population behind one middlebox class so its probe
+# breakage is visible in eligibility/error rates, not lost in noise.
+# ------------------------------------------------------------------ #
+
+register_scenario(
+    NetworkScenario(
+        name="nat-timeout",
+        description=(
+            "Most hosts sit behind a port-rewriting NAT whose idle timeout "
+            "is short relative to connection lifetimes: slow paths lose "
+            "their mapping mid-connection and replies are silently dropped."
+        ),
+        conditions=(NatTimeoutCondition(fraction=0.7),),
+    )
+)
+
+register_scenario(
+    NetworkScenario(
+        name="syn-filtered",
+        description=(
+            "A stateful SYN-rate-limiting firewall guards most sites: the "
+            "SYN test's paired probes and the dual-connection test's second "
+            "handshake get eaten while single-connection probing survives."
+        ),
+        conditions=(SynFirewallCondition(fraction=0.7),),
+    )
+)
+
+register_scenario(
+    NetworkScenario(
+        name="pmtud-blackhole",
+        description=(
+            "Reverse paths cross a silent small-MTU hop that swallows DF "
+            "data segments without emitting fragmentation-needed: bulk "
+            "transfer starves while handshakes complete normally."
+        ),
+        conditions=(PmtudBlackHoleCondition(fraction=0.6, directions=(REVERSE,)),),
+    )
+)
+
+register_scenario(
+    NetworkScenario(
+        name="icmp-policed",
+        description=(
+            "Token-bucket ICMP policing on most reverse paths: TCP-based "
+            "probing is untouched but ping-style (Bennett et al.) baselines "
+            "silently lose the bulk of their samples."
+        ),
+        conditions=(IcmpPolicerCondition(fraction=0.8, directions=(REVERSE,)),),
+    )
+)
+
+register_scenario(
+    NetworkScenario(
+        name="ecn-bleached",
+        description=(
+            "Traffic is ECN-marked at the probe edge and bleached mid-path "
+            "on most routes, erasing the codepoint end hosts would need to "
+            "negotiate ECN (measurable via path element counters)."
+        ),
+        conditions=(
+            EcnMarkCondition(fraction=0.9, directions=(FORWARD, REVERSE)),
+            EcnBleachCondition(fraction=0.75, directions=(FORWARD, REVERSE)),
+        ),
     )
 )

@@ -26,9 +26,16 @@ from typing import Optional
 from repro.net.errors import SimulationError
 from repro.sim.build import (
     DiurnalJitterSpec,
+    DuplexSpec,
+    EcnBleachSpec,
+    EcnMarkSpec,
     ElementSpec,
     GilbertLossSpec,
+    IcmpPolicerSpec,
+    NatSpec,
+    PmtudBlackHoleSpec,
     RouteFlapSpec,
+    SynFirewallSpec,
 )
 from repro.sim.random import SeededRandom
 
@@ -92,6 +99,14 @@ class ConditionTemplate(ABC):
     time-varying path may legitimately measure differently — the same
     exception class as port-hashing load balancers (see
     :mod:`repro.core.runner`)."""
+
+    duplex = False
+    """True when :meth:`materialize` yields a
+    :class:`~repro.sim.build.DuplexSpec` (a paired forward/reverse middlebox
+    sharing state, e.g. a NAT) rather than a unidirectional element.  Duplex
+    conditions ignore ``directions`` — the pair inherently covers both — and
+    land in ``PathSpec.middleboxes`` instead of the per-direction condition
+    tuples."""
 
     def validate(self) -> None:
         if not 0.0 <= self.fraction <= 1.0:
@@ -180,6 +195,98 @@ class DiurnalCongestionCondition(ConditionTemplate):
             phase=phase,
             stream=stream,
         )
+
+
+@dataclass(frozen=True, slots=True)
+class NatTimeoutCondition(ConditionTemplate):
+    """A port-rewriting NAT with a short idle timeout at the probe edge.
+
+    The timeout range is compressed the same way the diurnal period is:
+    campaign connections live fractions of a second, so timeouts of
+    50–250 ms interact with sample gaps and RTTs exactly the way minutes-long
+    timeouts interact with real long-lived connections — slow paths lose
+    their mapping mid-connection and the reply side goes dark.
+    """
+
+    duplex = True
+
+    timeout: tuple[float, float] = (0.05, 0.25)
+    port_base: int = 2000
+
+    def materialize(self, rng: SeededRandom, stream: str) -> DuplexSpec:
+        return NatSpec(
+            timeout=self._draw(rng, self.timeout), port_base=self.port_base
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class SynFirewallCondition(ConditionTemplate):
+    """A stateful firewall rate limiting inbound SYNs on the forward path.
+
+    With ``burst=1`` the second SYN of any quick pair is eaten: the SYN
+    test's paired probes and the dual-connection test's second handshake
+    break while single-connection probing stays clean.  Token buckets refill
+    within the campaign's inter-round gap (burst / rate << 1 s), keeping the
+    element shard-invariant.
+    """
+
+    rate_per_second: tuple[float, float] = (5.0, 10.0)
+    burst: int = 1
+
+    def materialize(self, rng: SeededRandom, stream: str) -> ElementSpec:
+        return SynFirewallSpec(
+            rate_per_second=self._draw(rng, self.rate_per_second), burst=self.burst
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class IcmpPolicerCondition(ConditionTemplate):
+    """Token-bucket ICMP policing (rate floor keeps refill under 1 s)."""
+
+    rate_per_second: tuple[float, float] = (1.0, 4.0)
+    burst: int = 1
+
+    def materialize(self, rng: SeededRandom, stream: str) -> ElementSpec:
+        return IcmpPolicerSpec(
+            rate_per_second=self._draw(rng, self.rate_per_second), burst=self.burst
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class PmtudBlackHoleCondition(ConditionTemplate):
+    """A silent small-MTU hop sized to swallow data segments, not control.
+
+    The MTU range sits below the prober's 296-byte data segments
+    (mss 256 + headers) but above bare control packets, so data transfer
+    starves while handshakes and pure-ACK exchanges sail through — the
+    classic PMTUD black-hole signature.
+    """
+
+    mtu: tuple[int, int] = (120, 280)
+
+    def materialize(self, rng: SeededRandom, stream: str) -> ElementSpec:
+        low, high = self.mtu
+        if low > high:
+            raise SimulationError(f"invalid MTU range: {self.mtu}")
+        return PmtudBlackHoleSpec(mtu=low if low == high else rng.randint(low, high))
+
+
+@dataclass(frozen=True, slots=True)
+class EcnMarkCondition(ConditionTemplate):
+    """Stamp an ECN codepoint at one edge of the path."""
+
+    codepoint: int = 0b10
+
+    def materialize(self, rng: SeededRandom, stream: str) -> ElementSpec:
+        return EcnMarkSpec(codepoint=self.codepoint)
+
+
+@dataclass(frozen=True, slots=True)
+class EcnBleachCondition(ConditionTemplate):
+    """Clear the ECN codepoint mid-path (the bleaching middlebox)."""
+
+    def materialize(self, rng: SeededRandom, stream: str) -> ElementSpec:
+        return EcnBleachSpec()
 
 
 @dataclass(frozen=True, slots=True)

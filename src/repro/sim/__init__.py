@@ -10,22 +10,41 @@ trace capture for ground truth.
 
 from repro.sim.build import (
     DiurnalJitterSpec,
+    DuplexSpec,
+    EcnBleachSpec,
+    EcnMarkSpec,
     ElementSpec,
     GilbertLossSpec,
+    IcmpPolicerSpec,
     JitterSpec,
     LinkSpec,
     LossSpec,
+    NatSpec,
+    PmtudBlackHoleSpec,
     RouteFlapSpec,
     StripeSpec,
     SwapSpec,
+    SynFirewallSpec,
     TraceSpec,
+    build_duplex_pairs,
     build_elements,
     build_pipeline,
 )
 from repro.sim.clock import SimClock
 from repro.sim.events import Event, EventQueue
 from repro.sim.link import Link
-from repro.sim.middlebox import IcmpRateLimiter, LoadBalancer
+from repro.sim.middlebox import (
+    EcnBleacher,
+    EcnMarker,
+    IcmpFilter,
+    IcmpRateLimiter,
+    LoadBalancer,
+    NatForward,
+    NatReverse,
+    NatTable,
+    PmtudBlackHole,
+    SynFirewall,
+)
 from repro.sim.path import DuplexPath, Pipeline
 from repro.sim.queueing import DropTailQueue
 from repro.sim.random import SeededRandom
@@ -52,11 +71,18 @@ __all__ = [
     "DiurnalJitterSpec",
     "DropTailQueue",
     "DuplexPath",
+    "DuplexSpec",
+    "EcnBleachSpec",
+    "EcnBleacher",
+    "EcnMarkSpec",
+    "EcnMarker",
     "ElementSpec",
     "Event",
     "EventQueue",
     "GilbertElliottLossElement",
     "GilbertLossSpec",
+    "IcmpFilter",
+    "IcmpPolicerSpec",
     "IcmpRateLimiter",
     "JitterSpec",
     "Link",
@@ -64,8 +90,14 @@ __all__ = [
     "LoadBalancer",
     "LossElement",
     "LossSpec",
+    "NatForward",
+    "NatReverse",
+    "NatSpec",
+    "NatTable",
     "PassthroughElement",
     "Pipeline",
+    "PmtudBlackHole",
+    "PmtudBlackHoleSpec",
     "RouteFlapReorderer",
     "RouteFlapSpec",
     "SeededRandom",
@@ -74,11 +106,14 @@ __all__ = [
     "StripeSpec",
     "StripedPathModel",
     "SwapSpec",
+    "SynFirewall",
+    "SynFirewallSpec",
     "Topology",
     "TraceCapture",
     "TraceRecord",
     "TraceSpec",
     "Waiter",
+    "build_duplex_pairs",
     "build_elements",
     "build_pipeline",
 ]

@@ -22,6 +22,16 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.sim.link import Link
+from repro.sim.middlebox import (
+    EcnBleacher,
+    EcnMarker,
+    IcmpRateLimiter,
+    NatForward,
+    NatReverse,
+    NatTable,
+    PmtudBlackHole,
+    SynFirewall,
+)
 from repro.sim.path import PathElement, Pipeline
 from repro.sim.random import SeededRandom
 from repro.sim.reorder import AdjacentSwapReorderer, DelayJitterReorderer, LossElement
@@ -224,6 +234,104 @@ class DiurnalJitterSpec(ElementSpec):
             phase=self.phase,
             base_delay=self.base_delay,
         )
+
+
+@dataclass(frozen=True, slots=True)
+class SynFirewallSpec(ElementSpec):
+    """A stateful SYN-rate-limiting firewall (deterministic; forward path)."""
+
+    rate_per_second: float = 5.0
+    burst: int = 1
+
+    def build(self, rng: Optional[SeededRandom]) -> PathElement:
+        return SynFirewall(rate_per_second=self.rate_per_second, burst=self.burst)
+
+
+@dataclass(frozen=True, slots=True)
+class IcmpPolicerSpec(ElementSpec):
+    """A token-bucket ICMP policer (deterministic)."""
+
+    rate_per_second: float = 1.0
+    burst: int = 1
+
+    def build(self, rng: Optional[SeededRandom]) -> PathElement:
+        return IcmpRateLimiter(rate_per_second=self.rate_per_second, burst=self.burst)
+
+
+@dataclass(frozen=True, slots=True)
+class PmtudBlackHoleSpec(ElementSpec):
+    """A silent small-MTU hop: too-big DF packets vanish, no errors escape."""
+
+    mtu: int = 256
+
+    def build(self, rng: Optional[SeededRandom]) -> PathElement:
+        return PmtudBlackHole(mtu=self.mtu)
+
+
+@dataclass(frozen=True, slots=True)
+class EcnMarkSpec(ElementSpec):
+    """Stamp an ECN codepoint on every packet (deterministic)."""
+
+    codepoint: int = 0b10
+
+    def build(self, rng: Optional[SeededRandom]) -> PathElement:
+        return EcnMarker(codepoint=self.codepoint)
+
+
+@dataclass(frozen=True, slots=True)
+class EcnBleachSpec(ElementSpec):
+    """Clear the ECN codepoint on every packet (deterministic)."""
+
+    def build(self, rng: Optional[SeededRandom]) -> PathElement:
+        return EcnBleacher()
+
+
+@dataclass(frozen=True, slots=True)
+class DuplexSpec(ABC):
+    """A declarative middlebox whose two directions share mutable state.
+
+    Unidirectional :class:`ElementSpec` covers most path behaviours, but a
+    NAT is meaningless one-way: the reverse translation must consult the
+    table the forward direction populates.  A duplex spec therefore builds a
+    *pair* of elements at once.  ``label`` plays the same role as on
+    :class:`ElementSpec` (None = deterministic, consumes no random stream).
+    """
+
+    @property
+    def label(self) -> Optional[str]:
+        return None
+
+    @abstractmethod
+    def build_pair(
+        self, rng: Optional[SeededRandom]
+    ) -> tuple[PathElement, PathElement]:
+        """Instantiate the (forward, reverse) elements sharing their state."""
+
+
+@dataclass(frozen=True, slots=True)
+class NatSpec(DuplexSpec):
+    """A port-rewriting NAT with idle-timeout mapping expiry."""
+
+    timeout: float = 0.15
+    port_base: int = 2000
+
+    def build_pair(
+        self, rng: Optional[SeededRandom]
+    ) -> tuple[PathElement, PathElement]:
+        table = NatTable(timeout=self.timeout, port_base=self.port_base)
+        return NatForward(table), NatReverse(table)
+
+
+def build_duplex_pairs(
+    specs: Sequence[DuplexSpec], rng: SeededRandom
+) -> list[tuple[PathElement, PathElement]]:
+    """Instantiate duplex middlebox specs in order, forking streams as labelled."""
+    pairs: list[tuple[PathElement, PathElement]] = []
+    for spec in specs:
+        label = spec.label
+        child = rng.fork(label) if label is not None else None
+        pairs.append(spec.build_pair(child))
+    return pairs
 
 
 def build_elements(

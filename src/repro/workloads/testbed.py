@@ -26,6 +26,7 @@ from repro.host.server import WebServer, build_server
 from repro.net.errors import TopologyError
 from repro.net.flow import parse_address
 from repro.sim.build import (
+    DuplexSpec,
     ElementSpec,
     JitterSpec,
     LinkSpec,
@@ -33,6 +34,7 @@ from repro.sim.build import (
     StripeSpec,
     SwapSpec,
     TraceSpec,
+    build_duplex_pairs,
     build_elements,
 )
 from repro.sim.middlebox import LoadBalancer
@@ -78,6 +80,13 @@ class PathSpec:
     reverse_conditions: tuple[ElementSpec, ...] = ()
     """Extra declarative elements for the reverse pipeline (after the egress
     trace, before the access link)."""
+
+    middleboxes: tuple[DuplexSpec, ...] = ()
+    """Duplex middleboxes (e.g. a NAT) installed at the probe edge of the
+    path: each spec's forward element is the first hop traffic leaving the
+    probe crosses, and its reverse element is the last hop before delivery
+    back to the probe.  When several are listed, the first spec sits
+    innermost (closest to the wide-area path)."""
 
 
 @dataclass(frozen=True, slots=True)
@@ -209,6 +218,14 @@ class Testbed:
         forward_specs, reverse_specs = path_element_specs(spec)
         forward = build_elements(forward_specs, rng)
         reverse = build_elements(reverse_specs, rng)
+        # Duplex middleboxes wrap the path at the probe edge: the forward
+        # half becomes the outermost upstream element, the reverse half the
+        # final element before delivery back to the probe.  Building them
+        # after the unidirectional elements keeps fork order — and therefore
+        # every existing stream — identical when the tuple is empty.
+        for fwd_element, rev_element in build_duplex_pairs(spec.path.middleboxes, rng):
+            forward.insert(0, fwd_element)
+            reverse.append(rev_element)
         forward_trace = _find_trace(forward, spec, "forward")
         reverse_trace = _find_trace(reverse, spec, "reverse")
         return forward, reverse, forward_trace, reverse_trace

@@ -43,6 +43,12 @@ GOLDEN_DIGESTS = {
     "asymmetric-paths": "13ec4f4c101fd53b8cf9505e70cbc91cfb8649fa446c9c0c488a062362abd3da",
     "icmp-hostile": "507dfcae86144dd3416425206a463f5addd812e02b10827a8cbd8fbe0a2655f5",
     "load-balanced-heavy": "33a5d04b309b8799fb2909589f316c632eb78ba7606327674f00070211f75122",
+    # The PR 6 hostile-internet middlebox scenarios, pinned at introduction.
+    "nat-timeout": "ae1ec86e9cef03aa4a94354f4f2ab4af995f7a9499972e8b948eb397e56e5777",
+    "syn-filtered": "d8dbc54290fb9741f4f5895f54ae1a2e620c393b381c1f831ed7e5e7660b8160",
+    "pmtud-blackhole": "36251ade4be486e63aec7f4b87e4eaf3d082e4b00e6430bb223061863a8a627c",
+    "icmp-policed": "6bb197feacf4bb5f8856da35063eb7afd206d30266e04ba3c0cfc586228a777f",
+    "ecn-bleached": "b083b42d8e00afd3d7660056738d23d5ff94578d917280006dcf3d723982c57a",
 }
 
 

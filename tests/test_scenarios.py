@@ -56,6 +56,19 @@ REQUIRED_SCENARIOS = (
     "asymmetric-paths",
     "icmp-hostile",
     "load-balanced-heavy",
+    "nat-timeout",
+    "syn-filtered",
+    "pmtud-blackhole",
+    "icmp-policed",
+    "ecn-bleached",
+)
+
+MIDDLEBOX_SCENARIOS = (
+    "nat-timeout",
+    "syn-filtered",
+    "pmtud-blackhole",
+    "icmp-policed",
+    "ecn-bleached",
 )
 
 
@@ -290,6 +303,19 @@ def test_run_scenario_is_deterministic_across_shard_counts():
             scenario, SMALL_CONFIG, hosts=6, seed=SEED, shards=shards, executor="serial"
         )
         for shards in (1, 2, 5)
+    ]
+    signatures = {result_signature(run.result) for run in runs}
+    assert len(signatures) == 1
+
+
+@pytest.mark.parametrize("name", MIDDLEBOX_SCENARIOS)
+def test_middlebox_scenarios_are_shard_invariant(name):
+    """The stateful middleboxes (NAT tables, token buckets) keep their timing
+    relative to per-host packet arrivals, so regrouping hosts into shards must
+    not change a single measurement."""
+    runs = [
+        run_scenario(name, SMALL_CONFIG, hosts=4, seed=SEED, shards=shards, executor="serial")
+        for shards in (1, 2, 3)
     ]
     signatures = {result_signature(run.result) for run in runs}
     assert len(signatures) == 1

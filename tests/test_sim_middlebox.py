@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.net.flow import parse_address
+from repro.net.icmp import IcmpError
 from repro.net.packet import ICMP_ECHO_REQUEST, IcmpEcho, Packet, TcpHeader
 from repro.sim.middlebox import IcmpFilter, IcmpRateLimiter, LoadBalancer
 from repro.sim.simulator import Simulator
@@ -71,6 +72,46 @@ def test_non_tcp_traffic_goes_to_first_backend():
     balancer.deliver(_icmp())
     assert len(backends[0].packets) == 1
     assert balancer.non_tcp_packets == 1
+
+
+def test_icmp_error_follows_the_flow_it_quotes():
+    """Regression: errors used to strand on backend 0 regardless of the flow.
+
+    A TTL-exceeded or fragmentation-needed error quotes the offending packet,
+    and the quote names the connection; the balancer must hash the quoted
+    four-tuple so the error reaches the backend actually serving that flow
+    (otherwise PMTUD breaks behind the VIP for most backends).
+    """
+    backends = [_RecordingBackend() for _ in range(4)]
+    balancer = LoadBalancer(backends, hash_salt=5)
+    routed = 0
+    for port in range(43000, 43040):
+        flow_packet = _tcp(src_port=port)
+        balancer.deliver(flow_packet)
+        index = balancer.backend_for_flow(flow_packet.four_tuple().flow_key())
+        for error in (
+            IcmpError.ttl_exceeded(flow_packet),
+            IcmpError.frag_needed(flow_packet, next_hop_mtu=296),
+        ):
+            # The router reports back to the flow's source; the balancer sees
+            # the error on its way through the reverse path.
+            balancer.deliver(Packet.icmp_error_packet(VIP, PROBE, error))
+            routed += 1
+            assert backends[index].packets[-1].icmp == error
+    assert balancer.icmp_errors_routed == routed
+    assert balancer.non_tcp_packets == 0
+
+
+def test_icmp_error_without_a_usable_quote_goes_to_first_backend():
+    backends = [_RecordingBackend() for _ in range(3)]
+    balancer = LoadBalancer(backends, hash_salt=5)
+    # An empty quote names no flow; an echo quote has no ports.  Both fall
+    # back to the flowless default, backend 0.
+    balancer.deliver(Packet.icmp_error_packet(VIP, PROBE, IcmpError(11)))
+    balancer.deliver(Packet.icmp_error_packet(VIP, PROBE, IcmpError.ttl_exceeded(_icmp())))
+    assert len(backends[0].packets) == 2
+    assert balancer.icmp_errors_routed == 0
+    assert balancer.non_tcp_packets == 2
 
 
 def test_icmp_rate_limiter_passes_tcp_untouched():
