@@ -14,6 +14,10 @@ experiments).  A section whose recorded ``cpu_count`` differs from the
 baseline's is also skipped with a notice: absolute throughput is
 machine-class-dependent, and comparing a laptop baseline against a CI
 runner (or vice versa) would make the gate either spurious or vacuous.
+Likewise for a section whose recorded ``cells`` count differs (the e10
+sweep grows whenever a PR registers new scenarios): per-measurement
+throughput depends on the scenario mix, so the gate only compares runs of
+the same workload shape.
 The CI workflow therefore gates successive runs of the *same runner class*
 against each other (previous run's JSON restored from the actions cache),
 using the committed file only as a same-machine fallback.
@@ -61,6 +65,17 @@ def compare(fresh: dict, baseline: dict, threshold: float) -> list[str]:
                 f"note: skipping {section}: baseline recorded on a "
                 f"{base_cpus}-cpu machine, this run on {fresh_cpus} cpus — "
                 "re-pin the baseline from this machine class to enable the gate"
+            )
+            continue
+        base_cells = base_metrics.get("cells")
+        fresh_cells = fresh_metrics.get("cells")
+        if base_cells != fresh_cells:
+            print(
+                f"note: skipping {section}: baseline measured a "
+                f"{base_cells}-cell workload, this run {fresh_cells} cells — "
+                "per-measurement throughput is only comparable for the same "
+                "cell mix; the gate resumes once a baseline with the new "
+                "workload is committed"
             )
             continue
         for name in GATED_METRICS:
