@@ -46,27 +46,37 @@ CONFIG = CampaignConfig(
 
 
 TIMING_REPEATS = 5 if TINY else 3
-"""Serial sweep timing is best-of-N: the sweep is deterministic, so repeats
-only reject scheduler noise before the number enters the CI regression
-gate.  The tiny (CI-gated) config affords more repeats."""
+"""Both sweeps are timed best-of-N: the sweep is deterministic, so repeats
+only reject scheduler noise before the numbers enter the CI regression
+gate.  The process sweep repeats inside one session, so its warm pool is
+shared across repeats — the same steady-state shape a long-lived session
+gives real campaigns — keeping the serial-vs-process comparison symmetric
+(pre-PR 7 the process sweep was timed single-shot, pool spin-up included,
+which skewed the recorded speedup).  The tiny (CI-gated) config affords
+more repeats."""
 
 
-def _sweep(executor: str):
+def _sweep_in(session: Session):
     matrix = ScenarioMatrix.of(SCENARIOS, OS_NAMES)
     request = MatrixRequest(matrix=matrix, config=CONFIG, hosts=HOSTS, seed=SEED, shards=SHARDS)
     start = time.perf_counter()
-    with Session(backend=executor) as session:
-        outcome = session.run(request).payload
+    outcome = session.run(request).payload
     return outcome, time.perf_counter() - start
 
 
+def _best_of(executor: str):
+    best, best_elapsed = None, float("inf")
+    with Session(backend=executor) as session:
+        for _ in range(TIMING_REPEATS):
+            outcome, elapsed = _sweep_in(session)
+            if elapsed < best_elapsed:
+                best, best_elapsed = outcome, elapsed
+    return best, best_elapsed
+
+
 def _run():
-    serial, serial_elapsed = _sweep(EXECUTOR_SERIAL)
-    for _ in range(TIMING_REPEATS - 1):
-        repeat, elapsed = _sweep(EXECUTOR_SERIAL)
-        if elapsed < serial_elapsed:
-            serial, serial_elapsed = repeat, elapsed
-    sharded, sharded_elapsed = _sweep(EXECUTOR_PROCESS)
+    serial, serial_elapsed = _best_of(EXECUTOR_SERIAL)
+    sharded, sharded_elapsed = _best_of(EXECUTOR_PROCESS)
     return serial, serial_elapsed, sharded, sharded_elapsed
 
 

@@ -18,12 +18,16 @@ Two execution shapes cover every caller:
 
 * :meth:`ExecutionBackend.map_shards` / :meth:`ExecutionBackend.iter_shards`
   run one campaign's :class:`~repro.core.runner.ShardTask` list — ordered
-  barrier map and completion-order iteration respectively.  The process
-  backend keeps PR 3's pickling optimisation: when its pool was created for
-  the same run-wide :class:`~repro.core.runner.ShardContext`, tasks travel
-  as bare ``(index, specs)`` slices through the pool initializer's stashed
-  context; a reused pool serving a *different* campaign falls back to
-  shipping whole tasks (still correct, marginally more pickling).
+  barrier map and completion-order iteration respectively.  Shards are
+  dispatched in adaptive *batches* (one pool future — for the process
+  backend, one IPC round-trip — per batch; sizing in
+  :func:`repro.core.transport.next_batch_size`), and batch results come back
+  as one struct-packed blob per batch.  The process backend keeps PR 3's
+  pickling optimisation: when its pool was created for the same run-wide
+  :class:`~repro.core.runner.ShardContext`, batches travel as bare
+  ``(index, specs)`` slices through the pool initializer's stashed context;
+  a reused pool serving a *different* campaign falls back to shipping whole
+  tasks (still correct, marginally more pickling).
 * :meth:`ExecutionBackend.map_items` runs arbitrary picklable work items —
   the scenario matrix uses it to execute whole cells in parallel.
 
@@ -39,12 +43,15 @@ from __future__ import annotations
 import os
 import threading
 from abc import ABC, abstractmethod
+from collections import deque
 from concurrent.futures import (
+    FIRST_COMPLETED,
     BrokenExecutor,
     Executor,
+    Future,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
-    as_completed,
+    wait,
 )
 from pickle import PicklingError
 from typing import Callable, Iterator, Optional, Sequence, TypeVar
@@ -54,8 +61,16 @@ from repro.core.runner import (
     ShardOutcome,
     ShardTask,
     _init_shard_worker,
-    _run_shard_slice,
+    _run_shard_slice_batch,
+    _run_task_batch,
     run_shard,
+)
+from repro.core.transport import (
+    MODE_PICKLE,
+    batch_size_override,
+    decode_outcomes,
+    next_batch_size,
+    transport_mode,
 )
 from repro.net.errors import MeasurementError
 
@@ -83,6 +98,31 @@ def _shard_context(task: ShardTask) -> ShardContext:
         remote_port=task.remote_port,
         scenario=task.scenario,
     )
+
+
+def _shard_cost(task: ShardTask) -> int:
+    """Estimated probe samples one shard simulates — dispatch sizing only.
+
+    Every shard of a campaign carries the same config, so one task stands in
+    for all of them.  The estimate feeds the :data:`~repro.core.transport.
+    MIN_BATCH_SAMPLES` floor in :func:`~repro.core.transport.next_batch_size`;
+    it never affects what is measured.
+    """
+    tests = task.tests if task.tests is not None else task.config.tests
+    return max(
+        1,
+        len(task.specs)
+        * task.config.rounds
+        * len(tests)
+        * task.config.samples_per_measurement,
+    )
+
+
+def _materialize(result: object) -> list[ShardOutcome]:
+    """A batch future's payload as live outcomes, whatever transport it rode."""
+    if isinstance(result, (bytes, bytearray, memoryview)):
+        return decode_outcomes(result)
+    return result  # type: ignore[return-value]
 
 
 class ExecutionBackend(ABC):
@@ -198,26 +238,77 @@ class _PoolBackend(ExecutionBackend):
                 self._pool.shutdown(wait=False, cancel_futures=True)
                 self._pool = None
 
-    def _submit_shard(self, pool: Executor, task: ShardTask):
-        return pool.submit(run_shard, task)
+    def _shard_submitter(
+        self, tasks: Sequence[ShardTask]
+    ) -> Callable[[tuple[ShardTask, ...]], "Future"]:
+        """A callable submitting one shard batch, bound to the warm pool.
 
-    def iter_shards(self, tasks: Sequence[ShardTask]) -> Iterator[ShardOutcome]:
-        if not tasks:
-            return
+        The base (thread) flavour ships whole tasks and gets live objects
+        back — same address space, nothing to encode.  The process backend
+        overrides this with the stashed-context / binary-transport variants.
+        """
         pool = self._ensure_pool()
-        futures = [self._submit_shard(pool, task) for task in tasks]
+        return lambda batch: pool.submit(_run_task_batch, (MODE_PICKLE, batch))
+
+    def _batch_dispatch(
+        self,
+        tasks: Sequence[ShardTask],
+        submit: Callable[[tuple[ShardTask, ...]], "Future"],
+    ) -> Iterator[ShardOutcome]:
+        """Yield shard outcomes in completion order, batched per round-trip.
+
+        Guided, work-stealing-style scheduling: each submission takes
+        :func:`~repro.core.transport.next_batch_size` shards off the shared
+        queue, so early batches are large and the tail shrinks toward single
+        shards — a straggling worker near the end holds at most one small
+        batch while the others drain the rest.  At most one in-flight batch
+        per worker; the queue is refilled *before* decoding finished results
+        so workers never idle behind the parent's decode.
+        """
+        pending = deque(tasks)
+        workers = max(1, self._workers)
+        override = batch_size_override()
+        cost = _shard_cost(tasks[0])
+        inflight: "set[Future]" = set()
+
+        def refill() -> None:
+            while pending and len(inflight) < workers:
+                size = next_batch_size(
+                    len(pending), workers, shard_cost=cost, override=override
+                )
+                inflight.add(submit(tuple(pending.popleft() for _ in range(size))))
+
         try:
-            for future in as_completed(futures):
-                yield future.result()
+            refill()
+            while inflight:
+                done, not_done = wait(inflight, return_when=FIRST_COMPLETED)
+                inflight.clear()
+                inflight.update(not_done)
+                refill()
+                for future in done:
+                    yield from _materialize(future.result())
         except BrokenExecutor:
             self._reset_broken_pool()
             raise
         finally:
             # Reached on success, pool failure, and early close (the consumer
-            # raised): drop shards that have not started.  The pool itself
+            # raised): drop batches that have not started.  The pool itself
             # stays warm — it may be shared with other work.
-            for future in futures:
+            for future in inflight:
                 future.cancel()
+
+    def map_shards(self, tasks: Sequence[ShardTask]) -> list[ShardOutcome]:
+        if not tasks:
+            return []
+        by_index: dict[int, ShardOutcome] = {}
+        for outcome in self._batch_dispatch(tasks, self._shard_submitter(tasks)):
+            by_index[outcome.index] = outcome
+        return [by_index[task.index] for task in tasks]
+
+    def iter_shards(self, tasks: Sequence[ShardTask]) -> Iterator[ShardOutcome]:
+        if not tasks:
+            return
+        yield from self._batch_dispatch(tasks, self._shard_submitter(tasks))
 
     def map_items(
         self, fn: Callable[[_ItemT], _ResultT], items: Sequence[_ItemT]
@@ -239,22 +330,18 @@ class _PoolBackend(ExecutionBackend):
 
 
 class ThreadBackend(_PoolBackend):
-    """A lazily created, reusable :class:`ThreadPoolExecutor`."""
+    """A lazily created, reusable :class:`ThreadPoolExecutor`.
+
+    Threads share the parent's address space, so batches always travel as
+    live objects (the binary codec would be pure overhead here); batching
+    still amortises the per-future bookkeeping and keeps the dispatch shape
+    identical across backends for the digest-invariance tests.
+    """
 
     name = "thread"
 
     def _create_pool(self) -> Executor:
         return ThreadPoolExecutor(max_workers=self._workers)
-
-    def map_shards(self, tasks: Sequence[ShardTask]) -> list[ShardOutcome]:
-        if not tasks:
-            return []
-        pool = self._ensure_pool()
-        try:
-            return list(pool.map(run_shard, tasks))
-        except BrokenExecutor:
-            self._reset_broken_pool()
-            raise
 
 
 class ProcessBackend(_PoolBackend):
@@ -262,8 +349,8 @@ class ProcessBackend(_PoolBackend):
 
     The first campaign to touch the backend fixes the pool's worker
     initializer to its run-wide :class:`ShardContext` (PR 3's
-    pickling-minimisation: per-shard IPC then carries only ``(index,
-    specs)``).  Later campaigns with an *equal* context reuse the fast path;
+    pickling-minimisation: per-batch IPC then carries only ``(index,
+    specs)`` slices).  Later campaigns with an *equal* context reuse the fast path;
     campaigns with a different context — e.g. the other cells of a matrix
     sweep — ship whole :class:`ShardTask` objects through the same warm pool
     instead, trading a little pickling for zero worker spin-up.
@@ -298,32 +385,26 @@ class ProcessBackend(_PoolBackend):
             pool = self._ensure_pool()
             return pool, self._pool_context == context
 
-    def map_shards(self, tasks: Sequence[ShardTask]) -> list[ShardOutcome]:
-        if not tasks:
-            return []
+    def _shard_submitter(
+        self, tasks: Sequence[ShardTask]
+    ) -> Callable[[tuple[ShardTask, ...]], "Future"]:
+        """Submit batches over the leanest transport the pool supports.
+
+        Parent->worker: a fast-path batch carries only ``(index, specs)``
+        slices (the stashed :class:`ShardContext` fills in the rest); a
+        reused pool serving a different campaign ships whole tasks.
+        Worker->parent: one struct-packed blob per batch (see
+        :mod:`repro.core.transport`), or live pickled objects when the
+        ``REPRO_TRANSPORT=pickle`` oracle is active.
+        """
         pool, fast = self._ensure_shard_pool(tasks)
-        try:
-            if not fast:
-                return list(pool.map(run_shard, tasks))
-            # Chunking amortises the remaining IPC round-trips when there are
-            # many more shards than workers.
-            slices = [(task.index, task.specs) for task in tasks]
-            chunksize = max(1, len(slices) // (self._workers * 4))
-            return list(pool.map(_run_shard_slice, slices, chunksize=chunksize))
-        except BrokenExecutor:
-            self._reset_broken_pool()
-            raise
-
-    def _submit_shard(self, pool: Executor, task: ShardTask):
-        if self._pool_context == _shard_context(task):
-            return pool.submit(_run_shard_slice, (task.index, task.specs))
-        return pool.submit(run_shard, task)
-
-    def iter_shards(self, tasks: Sequence[ShardTask]) -> Iterator[ShardOutcome]:
-        if not tasks:
-            return iter(())
-        self._ensure_shard_pool(tasks)
-        return super().iter_shards(tasks)
+        mode = transport_mode()
+        if fast:
+            return lambda batch: pool.submit(
+                _run_shard_slice_batch,
+                (mode, tuple((task.index, task.specs) for task in batch)),
+            )
+        return lambda batch: pool.submit(_run_task_batch, (mode, batch))
 
 
 # --------------------------------------------------------------------- #

@@ -145,6 +145,51 @@ def _run_shard_slice(slice_: tuple[int, tuple[HostSpec, ...]]) -> ShardOutcome:
     return run_shard(context.task(index, specs))
 
 
+def _encode_batch(outcomes: list[ShardOutcome], mode: str) -> "bytes | list[ShardOutcome]":
+    """One batch's return value: a compact blob, or live objects (oracle mode).
+
+    Imported lazily so :mod:`repro.core.transport` (which imports this
+    module for :class:`ShardOutcome`) never forms an import cycle.
+    """
+    if mode == "binary":
+        from repro.core.transport import encode_outcomes
+
+        return encode_outcomes(outcomes)
+    return outcomes
+
+
+def _run_shard_slice_batch(
+    payload: tuple[str, tuple[tuple[int, tuple[HostSpec, ...]], ...]],
+) -> "bytes | list[ShardOutcome]":
+    """Worker entry point: run a whole batch of stashed-context slices.
+
+    The batch travels to the worker as bare ``(index, specs)`` slices (the
+    PR 3 pickling minimisation) and its results travel back as a single
+    struct-packed blob (see :mod:`repro.core.transport`) — one IPC
+    round-trip per batch in each direction.
+    """
+    mode, slices = payload
+    context = _WORKER_CONTEXT
+    if context is None:  # pragma: no cover - initializer always runs first
+        raise MeasurementError("shard worker used before its initializer ran")
+    return _encode_batch(
+        [run_shard(context.task(index, specs)) for index, specs in slices], mode
+    )
+
+
+def _run_task_batch(
+    payload: tuple[str, tuple[ShardTask, ...]],
+) -> "bytes | list[ShardOutcome]":
+    """Worker entry point: run a batch of self-contained shard tasks.
+
+    Used when a warm pool's stashed context does not match the campaign
+    (e.g. the later cells of a matrix sweep) — tasks ship whole, results
+    still come back as one blob per batch.
+    """
+    mode, tasks = payload
+    return _encode_batch([run_shard(task) for task in tasks], mode)
+
+
 def record_signature(record: HostRoundResult) -> tuple:
     """The measurement content of a record, free of run-local bookkeeping.
 

@@ -9,9 +9,16 @@ well-defined notion of "detected" versus "undetected" errors.
 from __future__ import annotations
 
 import struct
+from typing import Union
+
+Buffer = Union[bytes, bytearray, memoryview]
+"""Any bytes-like object the checksum routines accept.
+
+Accepting :class:`memoryview` lets the wire layer checksum a window of its
+preallocated serialization buffer in place — no slice copy per packet."""
 
 
-def internet_checksum(data: bytes, initial: int = 0) -> int:
+def internet_checksum(data: Buffer, initial: int = 0) -> int:
     """Compute the 16-bit one's-complement Internet checksum of ``data``.
 
     The sum is taken a 16-bit word at a time with one ``struct.unpack``
@@ -23,8 +30,9 @@ def internet_checksum(data: bytes, initial: int = 0) -> int:
     Parameters
     ----------
     data:
-        The byte string to checksum.  If its length is odd it is implicitly
-        padded with a trailing zero byte, as specified by RFC 1071.
+        The buffer (``bytes``, ``bytearray``, or ``memoryview``) to
+        checksum.  If its length is odd it is implicitly padded with a
+        trailing zero byte, as specified by RFC 1071.
     initial:
         A pre-accumulated 16-bit partial sum (useful for including a
         pseudo-header without concatenating buffers).
@@ -48,7 +56,7 @@ def internet_checksum(data: bytes, initial: int = 0) -> int:
     return (~total) & 0xFFFF
 
 
-def reference_checksum(data: bytes, initial: int = 0) -> int:
+def reference_checksum(data: Buffer, initial: int = 0) -> int:
     """The original byte-at-a-time RFC 1071 loop, kept as a test oracle.
 
     Deliberately naive: sums big-endian 16-bit words with Python-level byte
@@ -69,7 +77,7 @@ def reference_checksum(data: bytes, initial: int = 0) -> int:
     return (~total) & 0xFFFF
 
 
-def verify_checksum(data: bytes, initial: int = 0) -> bool:
+def verify_checksum(data: Buffer, initial: int = 0) -> bool:
     """Return ``True`` when ``data`` (including its checksum field) sums to zero.
 
     A buffer whose embedded checksum is correct produces an all-ones

@@ -88,19 +88,32 @@ def serialize_packet(packet: Packet) -> bytes:
 
 
 def _serialize_packet_uncached(packet: Packet) -> bytes:
-    if packet.tcp is not None:
-        transport = _serialize_tcp(packet)
-    elif packet.icmp is not None:
-        transport = _serialize_icmp(packet.icmp)
-    else:
-        transport = packet.payload
+    """Build the wire image in one preallocated buffer — no slice-and-concat.
 
-    total_length = IPV4_HEADER_LEN + len(transport)
+    Headers are packed straight into a single ``bytearray`` of the final
+    size with ``struct.pack_into``; checksums are computed over
+    :class:`memoryview` windows of that same buffer (the checksum fields are
+    still zero at that point) and patched in place.  The old path built each
+    layer as separate ``bytes``, then copied twice more to splice each
+    checksum in.
+    """
+    if packet.tcp is not None:
+        options = _serialize_options(packet.tcp.options)
+        transport_length = 20 + len(options) + len(packet.payload)
+    elif packet.icmp is not None:
+        transport_length = 8 + len(packet.icmp.payload)
+    else:
+        options = b""
+        transport_length = len(packet.payload)
+    total_length = IPV4_HEADER_LEN + transport_length
     if total_length > 0xFFFF:
         raise SerializationError(f"packet too large: {total_length} bytes")
     flags_fragment = _FLAG_DF if packet.ip.dont_fragment else 0
-    header_without_checksum = struct.pack(
+    buffer = bytearray(total_length)
+    struct.pack_into(
         _IP_FORMAT,
+        buffer,
+        0,
         (4 << 4) | 5,
         packet.ip.tos,
         total_length,
@@ -112,65 +125,72 @@ def _serialize_packet_uncached(packet: Packet) -> bytes:
         packet.ip.src,
         packet.ip.dst,
     )
-    checksum = internet_checksum(header_without_checksum)
-    header = header_without_checksum[:10] + struct.pack("!H", checksum) + header_without_checksum[12:]
-    return header + transport
+    view = memoryview(buffer)
+    if packet.tcp is not None:
+        _pack_tcp(buffer, view, packet, options)
+    elif packet.icmp is not None:
+        _pack_icmp(buffer, view, packet.icmp)
+    elif packet.payload:
+        buffer[IPV4_HEADER_LEN:] = packet.payload
+    struct.pack_into("!H", buffer, 10, internet_checksum(view[:IPV4_HEADER_LEN]))
+    return bytes(buffer)
 
 
-def _serialize_tcp(packet: Packet) -> bytes:
+def _pack_tcp(buffer: bytearray, view: memoryview, packet: Packet, options: bytes) -> None:
     tcp = packet.tcp
     assert tcp is not None
-    options = _serialize_options(tcp.options)
+    base = IPV4_HEADER_LEN
     data_offset = (20 + len(options)) // 4
-    segment_without_checksum = (
-        struct.pack(
-            _TCP_FORMAT,
-            tcp.src_port,
-            tcp.dst_port,
-            tcp.seq,
-            tcp.ack,
-            data_offset << 4,
-            int(tcp.flags),
-            tcp.window,
-            0,
-            tcp.urgent,
-        )
-        + options
-        + packet.payload
+    struct.pack_into(
+        _TCP_FORMAT,
+        buffer,
+        base,
+        tcp.src_port,
+        tcp.dst_port,
+        tcp.seq,
+        tcp.ack,
+        data_offset << 4,
+        int(tcp.flags),
+        tcp.window,
+        0,
+        tcp.urgent,
     )
-    pseudo = pseudo_header_sum(packet.ip.src, packet.ip.dst, PROTO_TCP, len(segment_without_checksum))
-    checksum = internet_checksum(segment_without_checksum, initial=pseudo)
-    return (
-        segment_without_checksum[:16]
-        + struct.pack("!H", checksum)
-        + segment_without_checksum[18:]
-    )
+    if options:
+        buffer[base + 20 : base + 20 + len(options)] = options
+    if packet.payload:
+        buffer[base + 20 + len(options) :] = packet.payload
+    segment = view[base:]
+    pseudo = pseudo_header_sum(packet.ip.src, packet.ip.dst, PROTO_TCP, len(segment))
+    struct.pack_into("!H", buffer, base + 16, internet_checksum(segment, initial=pseudo))
 
 
-def _serialize_icmp(icmp: "IcmpEcho | IcmpError") -> bytes:
+def _pack_icmp(buffer: bytearray, view: memoryview, icmp: "IcmpEcho | IcmpError") -> None:
+    base = IPV4_HEADER_LEN
     if isinstance(icmp, IcmpError):
         # Errors reuse the echo header layout: the second header word is
         # (unused16, next-hop-MTU16), where the MTU half is zero except on
         # fragmentation-needed (RFC 1191).
-        message_without_checksum = (
-            struct.pack(_ICMP_FORMAT, icmp.icmp_type, icmp.code, 0, 0, icmp.next_hop_mtu)
-            + icmp.quoted
+        struct.pack_into(
+            _ICMP_FORMAT, buffer, base, icmp.icmp_type, icmp.code, 0, 0, icmp.next_hop_mtu
         )
+        tail = icmp.quoted
     else:
-        message_without_checksum = (
-            struct.pack(_ICMP_FORMAT, icmp.icmp_type, 0, 0, icmp.identifier, icmp.sequence)
-            + icmp.payload
+        struct.pack_into(
+            _ICMP_FORMAT, buffer, base, icmp.icmp_type, 0, 0, icmp.identifier, icmp.sequence
         )
-    checksum = internet_checksum(message_without_checksum)
-    return (
-        message_without_checksum[:2]
-        + struct.pack("!H", checksum)
-        + message_without_checksum[4:]
-    )
+        tail = icmp.payload
+    if tail:
+        buffer[base + 8 :] = tail
+    struct.pack_into("!H", buffer, base + 2, internet_checksum(view[base:]))
 
 
-def parse_packet(data: bytes) -> Packet:
+def parse_packet(data: "bytes | bytearray | memoryview") -> Packet:
     """Parse wire bytes back into a packet model.
+
+    Accepts any bytes-like buffer; headers are read in place with
+    ``struct.unpack_from`` over a :class:`memoryview` (no intermediate
+    slice copies — only leaf fields such as payloads and ICMP quotes are
+    materialised as ``bytes``).
 
     Raises
     ------
@@ -191,7 +211,7 @@ def parse_packet(data: bytes) -> Packet:
         _checksum,
         src,
         dst,
-    ) = struct.unpack(_IP_FORMAT, data[:IPV4_HEADER_LEN])
+    ) = struct.unpack_from(_IP_FORMAT, data, 0)
     version = version_ihl >> 4
     ihl = (version_ihl & 0x0F) * 4
     if version != 4:
@@ -200,7 +220,7 @@ def parse_packet(data: bytes) -> Packet:
         raise ParseError(f"IP options are not supported (ihl={ihl})")
     if total_length > len(data):
         raise ParseError("IP total length exceeds buffer")
-    body = data[IPV4_HEADER_LEN:total_length]
+    body = memoryview(data)[IPV4_HEADER_LEN:total_length]
     ip = IPv4Header(
         src=src,
         dst=dst,
@@ -219,7 +239,7 @@ def parse_packet(data: bytes) -> Packet:
     raise ParseError(f"unsupported transport protocol: {protocol}")
 
 
-def _parse_tcp(body: bytes) -> tuple[TcpHeader, bytes]:
+def _parse_tcp(body: memoryview) -> tuple[TcpHeader, bytes]:
     if len(body) < 20:
         raise ParseError(f"buffer too short for TCP header: {len(body)} bytes")
     (
@@ -232,11 +252,11 @@ def _parse_tcp(body: bytes) -> tuple[TcpHeader, bytes]:
         window,
         _checksum,
         urgent,
-    ) = struct.unpack(_TCP_FORMAT, body[:20])
+    ) = struct.unpack_from(_TCP_FORMAT, body, 0)
     header_length = (offset_reserved >> 4) * 4
     if header_length < 20 or header_length > len(body):
         raise ParseError(f"bad TCP data offset: {header_length}")
-    options = _parse_options(body[20:header_length])
+    options = _parse_options(bytes(body[20:header_length]))
     tcp = TcpHeader(
         src_port=src_port,
         dst_port=dst_port,
@@ -247,15 +267,19 @@ def _parse_tcp(body: bytes) -> tuple[TcpHeader, bytes]:
         urgent=urgent,
         options=options,
     )
-    return tcp, body[header_length:]
+    return tcp, bytes(body[header_length:])
 
 
-def _parse_icmp(body: bytes) -> "IcmpEcho | IcmpError":
+def _parse_icmp(body: memoryview) -> "IcmpEcho | IcmpError":
     if len(body) < 8:
         raise ParseError(f"buffer too short for ICMP message: {len(body)} bytes")
-    icmp_type, code, _checksum, identifier, sequence = struct.unpack(_ICMP_FORMAT, body[:8])
+    icmp_type, code, _checksum, identifier, sequence = struct.unpack_from(_ICMP_FORMAT, body, 0)
     if icmp_type in ICMP_ERROR_TYPES:
-        return parse_icmp_error(body)
+        # ICMP error models keep their quote as real ``bytes`` (it is
+        # compared and re-serialized), so materialise the message here.
+        return parse_icmp_error(bytes(body))
     if icmp_type not in (ICMP_ECHO_REQUEST, ICMP_ECHO_REPLY) or code != 0:
         raise ParseError(f"unsupported ICMP type/code: {icmp_type}/{code}")
-    return IcmpEcho(icmp_type=icmp_type, identifier=identifier, sequence=sequence, payload=body[8:])
+    return IcmpEcho(
+        icmp_type=icmp_type, identifier=identifier, sequence=sequence, payload=bytes(body[8:])
+    )

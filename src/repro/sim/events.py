@@ -14,9 +14,9 @@ because ``sequence`` is unique).
 
 from __future__ import annotations
 
-import heapq
-import itertools
 from typing import Callable, Optional
+
+from heapq import heappop as _heappop, heappush as _heappush
 
 from repro.net.errors import SimulationError
 
@@ -76,7 +76,7 @@ class EventQueue:
 
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, Event]] = []
-        self._counter = itertools.count()
+        self._sequence = 0
         self._live = 0
 
     def __len__(self) -> int:
@@ -90,8 +90,10 @@ class EventQueue:
         """Schedule ``callback`` at absolute simulated ``time`` and return the event."""
         if time < 0.0:
             raise SimulationError(f"cannot schedule an event before time zero: {time}")
-        event = Event(time, next(self._counter), callback, self)
-        heapq.heappush(self._heap, (time, event.sequence, event))
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        event = Event(time, sequence, callback, self)
+        _heappush(self._heap, (time, sequence, event))
         self._live += 1
         return event
 
@@ -103,7 +105,7 @@ class EventQueue:
         """Return the firing time of the next live event, or None when empty."""
         heap = self._heap
         while heap and heap[0][2]._state == _CANCELLED:
-            heapq.heappop(heap)
+            _heappop(heap)
         if not heap:
             return None
         return heap[0][0]
@@ -112,7 +114,7 @@ class EventQueue:
         """Remove and return the next live event, or None when empty."""
         heap = self._heap
         while heap:
-            event = heapq.heappop(heap)[2]
+            event = _heappop(heap)[2]
             if event._state == _PENDING:
                 event._state = _FIRED
                 self._live -= 1
@@ -131,11 +133,11 @@ class EventQueue:
             head = heap[0]
             event = head[2]
             if event._state == _CANCELLED:
-                heapq.heappop(heap)
+                _heappop(heap)
                 continue
             if head[0] > deadline:
                 return None
-            heapq.heappop(heap)
+            _heappop(heap)
             event._state = _FIRED
             self._live -= 1
             return event

@@ -1,0 +1,261 @@
+"""Batched binary shard transport: codec exactness and dispatch invariance.
+
+Two guarantees are pinned here.  First, the struct-packed transport codec in
+:mod:`repro.core.transport` is *exact*: Hypothesis drives encode → decode over
+the full result-type tree and compares against the pickle oracle (the
+original transport), so the binary path can never silently diverge from what
+pickled objects would have carried.  Second, execution shape is invisible in
+the data: a campaign's ``result_digest`` is identical across every backend ×
+batch-size × transport-mode combination, which is the conformance gate the
+batched dispatcher must pass.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.backends import create_backend
+from repro.core.campaign import CampaignConfig, HostRoundResult
+from repro.core.prober import ProbeReport, TestName
+from repro.core.runner import CampaignRunner, ShardOutcome, ShardTask, result_digest
+from repro.core.sample import MeasurementResult, ReorderSample, SampleOutcome
+from repro.core.transport import (
+    BATCH_SIZE_ENV,
+    MIN_BATCH_SAMPLES,
+    TRANSPORT_ENV,
+    decode_outcomes,
+    encode_outcomes,
+    next_batch_size,
+)
+from repro.net.errors import MeasurementError
+from repro.workloads.population import (
+    PopulationSpec,
+    generate_population,
+    partition_specs,
+)
+
+# ------------------------------------------------------------------ #
+# Strategies: the same result-type tree the store round-trip tests use,
+# bounded to the codec's wire ranges (u32 sample indexes, u8 uid counts).
+# ------------------------------------------------------------------ #
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False)
+short_text = st.text(max_size=24)
+addresses = st.integers(min_value=0, max_value=2**32 - 1)
+uid_tuples = st.lists(st.integers(min_value=0, max_value=2**63 - 1), max_size=3).map(tuple)
+
+samples = st.builds(
+    ReorderSample,
+    index=st.integers(min_value=0, max_value=10_000),
+    time=finite_floats,
+    spacing=finite_floats,
+    forward=st.sampled_from(SampleOutcome),
+    reverse=st.sampled_from(SampleOutcome),
+    detail=short_text,
+    probe_uids=uid_tuples,
+    response_uids=uid_tuples,
+)
+
+measurements = st.builds(
+    MeasurementResult,
+    test_name=short_text,
+    host_address=addresses,
+    start_time=finite_floats,
+    end_time=finite_floats,
+    spacing=finite_floats,
+    samples=st.lists(samples, max_size=6),
+    notes=short_text,
+)
+
+reports = st.builds(
+    ProbeReport,
+    test=st.sampled_from(TestName),
+    host_address=addresses,
+    result=st.none() | measurements,
+    error=st.none() | short_text,
+    ineligible=st.booleans(),
+)
+
+records = st.builds(
+    HostRoundResult,
+    round_index=st.integers(min_value=0, max_value=500),
+    host_address=addresses,
+    test=st.sampled_from(TestName),
+    time=finite_floats,
+    report=reports,
+    scenario=st.none() | short_text,
+)
+
+outcomes = st.builds(
+    ShardOutcome,
+    index=st.integers(min_value=0, max_value=1000),
+    host_addresses=st.lists(addresses, max_size=4).map(tuple),
+    records=st.lists(records, max_size=5),
+)
+
+
+# ------------------------------------------------------------------ #
+# Codec round-trips against the pickle oracle
+# ------------------------------------------------------------------ #
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(outcomes, max_size=3))
+def test_codec_roundtrip_matches_pickle_oracle(batch):
+    """decode(encode(batch)) equals what the pickle transport would carry."""
+    oracle = pickle.loads(pickle.dumps(batch))
+    decoded = decode_outcomes(encode_outcomes(batch))
+    assert decoded == oracle == batch
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(outcomes, max_size=3))
+def test_codec_accepts_memoryview_blobs(batch):
+    """The parent decodes over a memoryview window without copying first."""
+    blob = encode_outcomes(batch)
+    assert decode_outcomes(memoryview(blob)) == batch
+
+
+def test_codec_preserves_nan_spacing():
+    """A merged measurement's NaN spacing survives the binary transport."""
+    measurement = MeasurementResult(
+        test_name="syn", host_address=1, start_time=0.0, end_time=1.0, spacing=math.nan
+    )
+    report = ProbeReport(test=TestName.SYN, host_address=1, result=measurement)
+    record = HostRoundResult(
+        round_index=0, host_address=1, test=TestName.SYN, time=0.5, report=report
+    )
+    outcome = ShardOutcome(index=0, host_addresses=(1,), records=[record])
+    (decoded,) = decode_outcomes(encode_outcomes([outcome]))
+    assert math.isnan(decoded.records[0].report.result.spacing)
+
+
+def test_codec_rejects_corruption():
+    blob = encode_outcomes([ShardOutcome(index=0, host_addresses=(1,), records=[])])
+    with pytest.raises(MeasurementError, match="magic"):
+        decode_outcomes(b"XX" + blob[2:])
+    with pytest.raises(MeasurementError, match="version"):
+        decode_outcomes(blob[:2] + b"\xff" + blob[3:])
+    with pytest.raises(MeasurementError, match="trailing"):
+        decode_outcomes(blob + b"\x00")
+    with pytest.raises(MeasurementError, match="truncated|corrupt"):
+        decode_outcomes(blob[: len(blob) - 2])
+
+
+def test_codec_rejects_out_of_range_fields():
+    """Values outside the wire ranges fail loudly at encode time."""
+    outcome = ShardOutcome(index=-1, host_addresses=(), records=[])
+    with pytest.raises(MeasurementError, match="field range"):
+        encode_outcomes([outcome])
+
+
+# ------------------------------------------------------------------ #
+# Batch-size schedule
+# ------------------------------------------------------------------ #
+
+
+@given(
+    remaining=st.integers(min_value=1, max_value=10_000),
+    workers=st.integers(min_value=1, max_value=64),
+    shard_cost=st.none() | st.integers(min_value=1, max_value=100_000),
+)
+def test_next_batch_size_stays_in_range(remaining, workers, shard_cost):
+    size = next_batch_size(remaining, workers, shard_cost=shard_cost)
+    assert 1 <= size <= remaining
+
+
+def test_next_batch_size_guided_schedule_shrinks_toward_tail():
+    """Repeatedly taking batches drains the queue with a shrinking tail."""
+    remaining, sizes = 100, []
+    while remaining:
+        size = next_batch_size(remaining, workers=4)
+        sizes.append(size)
+        remaining -= size
+    assert sizes[0] == math.ceil(100 / 8)
+    assert sizes[-1] == 1
+    assert sorted(sizes, reverse=True) == sizes
+    assert sum(sizes) == 100
+
+
+def test_next_batch_size_single_worker_takes_everything():
+    assert next_batch_size(37, workers=1) == 37
+
+
+def test_next_batch_size_respects_cost_floor():
+    """Tiny shards are batched up until a batch carries enough samples."""
+    size = next_batch_size(1000, workers=4, shard_cost=2)
+    assert size * 2 >= MIN_BATCH_SAMPLES
+
+
+def test_next_batch_size_override_pins():
+    assert next_batch_size(100, workers=4, override=7) == 7
+    assert next_batch_size(3, workers=4, override=7) == 3
+    with pytest.raises(MeasurementError):
+        next_batch_size(0, workers=4)
+
+
+# ------------------------------------------------------------------ #
+# Digest invariance: backend × batch size × transport mode
+# ------------------------------------------------------------------ #
+
+_POPULATION = PopulationSpec(
+    num_hosts=6, load_balanced_fraction=0.0, reordering_path_fraction=0.5
+)
+_CONFIG = CampaignConfig(
+    rounds=1,
+    samples_per_measurement=3,
+    tests=(TestName.SINGLE_CONNECTION, TestName.SYN),
+)
+_SEED = 20260807
+_SHARDS = 5
+
+
+def _digest(executor: str) -> str:
+    specs = generate_population(_POPULATION, seed=_SEED)
+    runner = CampaignRunner(specs, _CONFIG, seed=_SEED, shards=_SHARDS, executor=executor)
+    return result_digest(runner.execute())
+
+
+@pytest.fixture(scope="module")
+def serial_digest():
+    return _digest("serial")
+
+
+@pytest.mark.parametrize("executor", ["thread", "process"])
+@pytest.mark.parametrize("batch_size", ["1", "2", "7", str(_SHARDS)])
+def test_digest_invariant_across_batch_sizes(
+    monkeypatch, serial_digest, executor, batch_size
+):
+    monkeypatch.setenv(BATCH_SIZE_ENV, batch_size)
+    assert _digest(executor) == serial_digest
+
+
+@pytest.mark.parametrize("executor", ["thread", "process"])
+def test_digest_invariant_under_pickle_oracle(monkeypatch, serial_digest, executor):
+    monkeypatch.setenv(TRANSPORT_ENV, "pickle")
+    assert _digest(executor) == serial_digest
+
+
+def test_map_shards_returns_outcomes_in_task_order(monkeypatch):
+    """Completion order may interleave; the barrier map must not."""
+    monkeypatch.setenv(BATCH_SIZE_ENV, "2")
+    specs = generate_population(_POPULATION, seed=_SEED)
+    shard_tasks = [
+        ShardTask(
+            index=index,
+            specs=tuple(shard),
+            config=_CONFIG,
+            tests=_CONFIG.tests,
+            seed=_SEED,
+            remote_port=80,
+        )
+        for index, shard in enumerate(partition_specs(specs, _SHARDS))
+    ]
+    with create_backend("process") as backend:
+        ordered = backend.map_shards(shard_tasks)
+    assert [outcome.index for outcome in ordered] == [task.index for task in shard_tasks]
