@@ -10,7 +10,7 @@ from typing import Mapping
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-CURRENT_PR_TAG = "PR7"
+CURRENT_PR_TAG = "PR8"
 """The tag of the PR currently being benchmarked.
 
 Each PR's headline numbers land in their own ``BENCH_<tag>.json`` at the

@@ -26,6 +26,7 @@ from repro.core.campaign import CampaignConfig
 from repro.core.prober import TestName
 from repro.core.runner import EXECUTOR_PROCESS, EXECUTOR_SERIAL, result_signature
 from repro.api import MatrixRequest, Session
+from repro.distributed import RemoteBackend
 from repro.scenarios import MIXED_OS, ScenarioMatrix, scenario_names
 
 TINY = bool(os.environ.get("E10_TINY"))
@@ -33,6 +34,7 @@ TINY = bool(os.environ.get("E10_TINY"))
 SEED = 1302
 SHARDS = 2 if TINY else 4
 HOSTS = 3 if TINY else 8
+REMOTE_WORKERS = 2
 OS_NAMES = (MIXED_OS,) if TINY else (MIXED_OS, "freebsd-4.4")
 SCENARIOS = scenario_names()[:3] if TINY else scenario_names()
 
@@ -74,14 +76,38 @@ def _best_of(executor: str):
     return best, best_elapsed
 
 
+def _best_of_remote():
+    # The Session borrows an instance backend (it never closes what it did
+    # not create), so the fleet stays warm across repeats and we close it.
+    best, best_elapsed = None, float("inf")
+    backend = RemoteBackend(spawn_workers=REMOTE_WORKERS)
+    try:
+        with Session(backend=backend) as session:
+            for _ in range(TIMING_REPEATS):
+                outcome, elapsed = _sweep_in(session)
+                if elapsed < best_elapsed:
+                    best, best_elapsed = outcome, elapsed
+    finally:
+        backend.close()
+    return best, best_elapsed
+
+
 def _run():
     serial, serial_elapsed = _best_of(EXECUTOR_SERIAL)
     sharded, sharded_elapsed = _best_of(EXECUTOR_PROCESS)
-    return serial, serial_elapsed, sharded, sharded_elapsed
+    remote, remote_elapsed = _best_of_remote()
+    return serial, serial_elapsed, sharded, sharded_elapsed, remote, remote_elapsed
 
 
 def test_bench_scenario_sweep(benchmark):
-    serial, serial_elapsed, sharded, sharded_elapsed = run_once(benchmark, _run)
+    (
+        serial,
+        serial_elapsed,
+        sharded,
+        sharded_elapsed,
+        remote,
+        remote_elapsed,
+    ) = run_once(benchmark, _run)
 
     cells = len(serial.runs)
     measurements = serial.total_measurements()
@@ -101,6 +127,12 @@ def test_bench_scenario_sweep(benchmark):
         f"({SHARDS} shards/cell, {os.cpu_count()} cores, "
         f"speedup x{serial_elapsed / sharded_elapsed:.2f})"
     )
+    print(
+        f"remote workers: {remote_elapsed:8.3f} s  "
+        f"{measurements / remote_elapsed:8.1f} measurements/s "
+        f"({REMOTE_WORKERS} localhost TCP workers, "
+        f"speedup x{serial_elapsed / remote_elapsed:.2f})"
+    )
     print()
     print(compare_scenarios(serial.results()).to_table())
     # Tiny (CI smoke) runs are recorded under their own section so the
@@ -109,17 +141,23 @@ def test_bench_scenario_sweep(benchmark):
         "e10_scenario_sweep_tiny" if TINY else "e10_scenario_sweep",
         {
             "cells": cells,
+            "workers": REMOTE_WORKERS,
             "serial_elapsed_s": serial_elapsed,
             "process_elapsed_s": sharded_elapsed,
+            "remote_elapsed_s": remote_elapsed,
             "measurements_per_sec_serial": measurements / serial_elapsed,
             "measurements_per_sec_process": measurements / sharded_elapsed,
+            "measurements_per_sec_remote": measurements / remote_elapsed,
             "speedup_process_vs_serial": serial_elapsed / sharded_elapsed,
+            "speedup_remote_vs_serial": serial_elapsed / remote_elapsed,
         },
     )
     print(f"recorded -> {out}")
 
     # Executor choice must never change what a fixed matrix layout measured.
     assert set(sharded.runs) == set(serial.runs)
+    assert set(remote.runs) == set(serial.runs)
     for label, run in serial.runs.items():
         assert run.result.scenario == label
         assert result_signature(sharded.runs[label].result) == result_signature(run.result)
+        assert result_signature(remote.runs[label].result) == result_signature(run.result)

@@ -19,12 +19,14 @@ from repro.api.backends import create_backend
 from repro.core.campaign import Campaign, CampaignConfig
 from repro.core.prober import TestName
 from repro.core.runner import EXECUTOR_PROCESS, CampaignRunner, result_signature
+from repro.distributed import RemoteBackend
 from repro.workloads.population import PopulationSpec, generate_population
 from repro.workloads.testbed import build_testbed
 
 NUM_HOSTS = 12
 SHARDS = 4
 SEED = 97
+REMOTE_WORKERS = 2
 TIMING_REPEATS = 5
 """Both engines are timed best-of-N: the simulation is deterministic, so
 repeats only reject scheduler noise, and the recorded rates feed the CI
@@ -113,3 +115,81 @@ def test_bench_campaign_scale(benchmark):
     # Sharding must never change what was measured.
     assert len(sharded.records) == measurements
     assert result_signature(sharded) == result_signature(serial)
+
+
+def _run_remote():
+    spec = PopulationSpec(
+        num_hosts=NUM_HOSTS, reordering_path_fraction=0.5, load_balanced_fraction=0.0
+    )
+    specs = generate_population(spec, seed=SEED)
+
+    serial = None
+    serial_elapsed = float("inf")
+    for _ in range(TIMING_REPEATS):
+        start = time.perf_counter()
+        testbed = build_testbed(specs, seed=SEED, stable_site_seeds=True)
+        result = Campaign(testbed.probe, testbed.addresses(), CONFIG).run()
+        elapsed = time.perf_counter() - start
+        if elapsed < serial_elapsed:
+            serial, serial_elapsed = result, elapsed
+
+    remote = None
+    remote_elapsed = float("inf")
+    with RemoteBackend(spawn_workers=REMOTE_WORKERS) as backend:
+        # One warm fleet across the repeats: the first iteration pays worker
+        # spin-up + TCP connect, later ones measure steady-state lease /
+        # dispatch / result-stream cost, which is what a long-lived session
+        # actually sees.
+        for _ in range(TIMING_REPEATS):
+            start = time.perf_counter()
+            runner = CampaignRunner(
+                specs, CONFIG, seed=SEED, shards=SHARDS, backend=backend
+            )
+            result = runner.execute()
+            elapsed = time.perf_counter() - start
+            if elapsed < remote_elapsed:
+                remote, remote_elapsed = result, elapsed
+        report = backend.pop_job_report() or {}
+
+    return serial, serial_elapsed, remote, remote_elapsed, report
+
+
+def test_bench_campaign_remote(benchmark):
+    """E9 over the ``remote`` backend: localhost TCP workers vs. serial.
+
+    On localhost the wire layer adds framing + socket hops on top of the
+    process backend's costs, so this records how much fault tolerance
+    costs when nothing fails — the chaos suite covers what it buys when
+    something does.
+    """
+    serial, serial_elapsed, remote, remote_elapsed, report = run_once(
+        benchmark, _run_remote
+    )
+
+    measurements = len(serial.records)
+    serial_rate = measurements / serial_elapsed
+    remote_rate = measurements / remote_elapsed
+    print()
+    print(f"campaign: {NUM_HOSTS} hosts x {CONFIG.rounds} rounds x "
+          f"{len(CONFIG.tests)} tests = {measurements} measurements")
+    print(f"serial engine:  {serial_elapsed:8.3f} s  {serial_rate:8.1f} measurements/s")
+    print(f"remote workers: {remote_elapsed:8.3f} s  {remote_rate:8.1f} measurements/s "
+          f"({SHARDS} shards, {REMOTE_WORKERS} workers, {os.cpu_count()} cores, "
+          f"speedup x{serial_elapsed / remote_elapsed:.2f})")
+    out = record_bench(
+        "e9_remote_campaign",
+        {
+            "workers": REMOTE_WORKERS,
+            "measurements_per_sec_serial": serial_rate,
+            "measurements_per_sec_remote": remote_rate,
+            "speedup_remote_vs_serial": serial_elapsed / remote_elapsed,
+        },
+    )
+    print(f"recorded -> {out}")
+
+    # The wire layer must never change what was measured — and the whole
+    # campaign must actually have been served by the remote fleet.
+    assert len(remote.records) == measurements
+    assert result_signature(remote) == result_signature(serial)
+    assert not report.get("degraded"), "bench fleet must serve, not degrade"
+    assert not report.get("quarantined")

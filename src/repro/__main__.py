@@ -7,6 +7,7 @@ Subcommands::
     python -m repro resume --store runs/flap
     python -m repro report --store runs/flap
     python -m repro run --list-scenarios
+    python -m repro workers --connect HOST:PORT --workers 4
 
 The CLI is a thin veneer over the :mod:`repro.api` session layer: ``run``
 submits a :class:`~repro.api.requests.CampaignRequest` and ``resume`` a
@@ -44,6 +45,8 @@ from repro.api.requests import CampaignRequest, ResumeRequest
 from repro.api.session import Session
 from repro.core.campaign import CampaignConfig
 from repro.core.runner import EXECUTOR_PROCESS, result_digest
+from repro.distributed.chaos import ChaosSpec
+from repro.distributed.worker import DEFAULT_HEARTBEAT_INTERVAL, run_worker
 from repro.net.errors import StoreError
 from repro.scenarios.registry import LEGACY_SCENARIO, list_scenarios, scenario_names
 from repro.store.store import CampaignStore
@@ -254,10 +257,90 @@ def cmd_report(argv: Sequence[str]) -> int:
     return 0
 
 
+def cmd_workers(argv: Sequence[str]) -> int:
+    """Join a remote coordinator as one or more worker processes.
+
+    ``--workers 1`` (the default, and what
+    :class:`~repro.distributed.backend.RemoteBackend` spawns) runs the
+    worker loop in this process; ``--workers N`` forks N child processes
+    with consecutive ``--index`` values and waits for all of them.  A chaos
+    spec in the ``REPRO_CHAOS`` environment variable (JSON, see
+    :class:`~repro.distributed.chaos.ChaosSpec`) wraps every worker.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro workers",
+        description="Serve shard batches for a remote campaign coordinator.",
+    )
+    parser.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address, as printed/configured by the remote backend",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes to run (default: 1)"
+    )
+    parser.add_argument(
+        "--index", type=int, default=0, help="index of the first worker (default: 0)"
+    )
+    parser.add_argument(
+        "--heartbeat",
+        type=float,
+        default=DEFAULT_HEARTBEAT_INTERVAL,
+        help=f"heartbeat interval in seconds (default: {DEFAULT_HEARTBEAT_INTERVAL})",
+    )
+    args = parser.parse_args(argv)
+    host, _, raw_port = args.connect.rpartition(":")
+    if not host or not raw_port.isdigit():
+        print(f"--connect must be HOST:PORT, got {args.connect!r}", file=sys.stderr)
+        return 2
+    port = int(raw_port)
+    if args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    chaos = ChaosSpec.from_env()
+    if args.workers == 1:
+        try:
+            return run_worker(
+                host,
+                port,
+                index=args.index,
+                heartbeat_interval=args.heartbeat,
+                chaos=chaos,
+            )
+        except OSError as error:
+            print(f"worker: cannot reach coordinator at {host}:{port}: {error}",
+                  file=sys.stderr)
+            return 1
+    import multiprocessing
+
+    children = [
+        multiprocessing.Process(
+            target=run_worker,
+            args=(host, port),
+            kwargs={
+                "index": args.index + offset,
+                "heartbeat_interval": args.heartbeat,
+                "chaos": chaos,
+            },
+            daemon=False,
+        )
+        for offset in range(args.workers)
+    ]
+    for child in children:
+        child.start()
+    status = 0
+    for child in children:
+        child.join()
+        status = status or (child.exitcode or 0)
+    return status
+
+
 _COMMANDS = {
     "run": cmd_run,
     "resume": cmd_resume,
     "report": cmd_report,
+    "workers": cmd_workers,
 }
 
 

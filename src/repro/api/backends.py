@@ -42,8 +42,10 @@ from __future__ import annotations
 
 import os
 import threading
+import warnings
 from abc import ABC, abstractmethod
 from collections import deque
+from contextlib import closing
 from concurrent.futures import (
     FIRST_COMPLETED,
     BrokenExecutor,
@@ -118,10 +120,18 @@ def _shard_cost(task: ShardTask) -> int:
     )
 
 
-def _materialize(result: object) -> list[ShardOutcome]:
-    """A batch future's payload as live outcomes, whatever transport it rode."""
+def _materialize(
+    result: object, batch: Sequence[ShardTask] = ()
+) -> list[ShardOutcome]:
+    """A batch future's payload as live outcomes, whatever transport it rode.
+
+    ``batch`` (the tasks that were in flight) gives a decode fault its
+    :class:`~repro.net.errors.TransportError` shard context.
+    """
     if isinstance(result, (bytes, bytearray, memoryview)):
-        return decode_outcomes(result)
+        return decode_outcomes(
+            result, shard_indexes=tuple(task.index for task in batch)
+        )
     return result  # type: ignore[return-value]
 
 
@@ -250,7 +260,43 @@ class _PoolBackend(ExecutionBackend):
         pool = self._ensure_pool()
         return lambda batch: pool.submit(_run_task_batch, (MODE_PICKLE, batch))
 
-    def _batch_dispatch(
+    def _batch_dispatch(self, tasks: Sequence[ShardTask]) -> Iterator[ShardOutcome]:
+        """Yield shard outcomes in completion order, fault-tolerant once.
+
+        Dispatch itself lives in :meth:`_dispatch_batches`; this wrapper adds
+        the retry discipline: when the pool breaks mid-campaign
+        (:class:`BrokenExecutor` — one worker dying takes the whole stdlib
+        pool with it), the broken pool is discarded and the shards that have
+        not been yielded yet are re-dispatched **once** on a fresh pool, so a
+        single transient worker death no longer kills a whole campaign.  A
+        second break propagates: something is systematically wrong.  Shard
+        tasks are pure functions, so re-running an in-flight shard can never
+        change a result — only recompute it.
+        """
+        remaining: "dict[int, ShardTask]" = {task.index: task for task in tasks}
+        retried = False
+        while True:
+            batch_tasks = tuple(remaining.values())
+            try:
+                submit = self._shard_submitter(batch_tasks)
+                with closing(self._dispatch_batches(batch_tasks, submit)) as results:
+                    for outcome in results:
+                        remaining.pop(outcome.index, None)
+                        yield outcome
+                return
+            except BrokenExecutor as exc:
+                self._reset_broken_pool()
+                if retried or not remaining:
+                    raise
+                retried = True
+                warnings.warn(
+                    f"{self.name} pool broke mid-campaign ({exc!r}); retrying "
+                    f"{len(remaining)} in-flight shard(s) once on a fresh pool",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+
+    def _dispatch_batches(
         self,
         tasks: Sequence[ShardTask],
         submit: Callable[[tuple[ShardTask, ...]], "Future"],
@@ -269,27 +315,24 @@ class _PoolBackend(ExecutionBackend):
         workers = max(1, self._workers)
         override = batch_size_override()
         cost = _shard_cost(tasks[0])
-        inflight: "set[Future]" = set()
+        inflight: "dict[Future, tuple[ShardTask, ...]]" = {}
 
         def refill() -> None:
             while pending and len(inflight) < workers:
                 size = next_batch_size(
                     len(pending), workers, shard_cost=cost, override=override
                 )
-                inflight.add(submit(tuple(pending.popleft() for _ in range(size))))
+                batch = tuple(pending.popleft() for _ in range(size))
+                inflight[submit(batch)] = batch
 
         try:
             refill()
             while inflight:
-                done, not_done = wait(inflight, return_when=FIRST_COMPLETED)
-                inflight.clear()
-                inflight.update(not_done)
+                done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+                finished = [(future, inflight.pop(future)) for future in done]
                 refill()
-                for future in done:
-                    yield from _materialize(future.result())
-        except BrokenExecutor:
-            self._reset_broken_pool()
-            raise
+                for future, batch in finished:
+                    yield from _materialize(future.result(), batch)
         finally:
             # Reached on success, pool failure, and early close (the consumer
             # raised): drop batches that have not started.  The pool itself
@@ -301,14 +344,14 @@ class _PoolBackend(ExecutionBackend):
         if not tasks:
             return []
         by_index: dict[int, ShardOutcome] = {}
-        for outcome in self._batch_dispatch(tasks, self._shard_submitter(tasks)):
+        for outcome in self._batch_dispatch(tasks):
             by_index[outcome.index] = outcome
         return [by_index[task.index] for task in tasks]
 
     def iter_shards(self, tasks: Sequence[ShardTask]) -> Iterator[ShardOutcome]:
         if not tasks:
             return
-        yield from self._batch_dispatch(tasks, self._shard_submitter(tasks))
+        yield from self._batch_dispatch(tasks)
 
     def map_items(
         self, fn: Callable[[_ItemT], _ResultT], items: Sequence[_ItemT]
@@ -450,9 +493,21 @@ def create_backend(
     return factory(max_workers)
 
 
+def _remote_factory(max_workers: Optional[int]) -> ExecutionBackend:
+    """Lazy factory for the socket-based remote backend.
+
+    Imported on first use so :mod:`repro.api` never pays for (or cycles
+    with) the distributed machinery unless a caller selects ``remote``.
+    """
+    from repro.distributed.backend import RemoteBackend
+
+    return RemoteBackend(max_workers)
+
+
 register_backend(SerialBackend.name, SerialBackend)
 register_backend(ThreadBackend.name, ThreadBackend)
 register_backend(ProcessBackend.name, ProcessBackend)
+register_backend("remote", _remote_factory)
 
 
 __all__ = [

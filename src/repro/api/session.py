@@ -300,21 +300,34 @@ class Session:
         self, runner: CampaignRunner, norm: NormalizedCampaign, result: CampaignResult
     ) -> ResultEnvelope:
         plan = runner.plan(norm.tests, origin=norm.origin)
+        meta = {
+            "seed": norm.seed,
+            "shards": plan.shards,
+            "hosts": len(norm.specs),
+            "resumed": norm.resume,
+            "scenario_spec": norm.scenario_spec,
+            "store": str(norm.store.root) if norm.store is not None else None,
+            "backend": self._backend_name,
+        }
+        # A fault-tolerant backend (the remote pool) accumulates a per-job
+        # report — requeues, evictions, quarantined shards, degradation
+        # warnings — which surfaces here rather than in logs: callers read
+        # envelope.meta["remote"] (and meta["warnings"]) to learn what the
+        # campaign survived.
+        reporter = getattr(self.backend, "pop_job_report", None)
+        if callable(reporter):
+            report = reporter()
+            if report:
+                meta["remote"] = report
+                if report.get("warnings"):
+                    meta["warnings"] = tuple(report["warnings"])
         return ResultEnvelope(
             kind=KIND_CAMPAIGN,
             payload=result,
             scenario=result.scenario or norm.label,
             plan_digest=plan_digest(plan),
             result_digest=result_digest(result),
-            meta={
-                "seed": norm.seed,
-                "shards": plan.shards,
-                "hosts": len(norm.specs),
-                "resumed": norm.resume,
-                "scenario_spec": norm.scenario_spec,
-                "store": str(norm.store.root) if norm.store is not None else None,
-                "backend": self._backend_name,
-            },
+            meta=meta,
         )
 
     def _run_matrix(self, request: MatrixRequest, job: JobHandle) -> ResultEnvelope:

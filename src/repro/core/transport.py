@@ -49,7 +49,7 @@ from repro.core.campaign import HostRoundResult
 from repro.core.prober import ProbeReport, TestName
 from repro.core.runner import ShardOutcome
 from repro.core.sample import MeasurementResult, ReorderSample, SampleOutcome
-from repro.net.errors import MeasurementError
+from repro.net.errors import MeasurementError, TransportError
 
 TRANSPORT_ENV = "REPRO_TRANSPORT"
 """Set to ``pickle`` to ship worker results as pickled objects (the oracle)."""
@@ -375,17 +375,39 @@ def _decode_record(reader: _Reader) -> HostRoundResult:
     )
 
 
-def decode_outcomes(blob: Buffer) -> list[ShardOutcome]:
-    """Decode one transport blob back into its batch of shard outcomes."""
+def decode_outcomes(
+    blob: Buffer, *, shard_indexes: Optional[Sequence[int]] = None
+) -> list[ShardOutcome]:
+    """Decode one transport blob back into its batch of shard outcomes.
+
+    Any truncation or corruption raises a typed
+    :class:`~repro.net.errors.TransportError` carrying the byte ``offset``
+    where decoding stopped, the ``shard_indexes`` the caller had in flight
+    (when it passed them), and the ``decoded_indexes`` recovered before the
+    fault — so a dispatcher can requeue exactly the shards that were lost
+    instead of failing the whole campaign.
+    """
+    expected = tuple(shard_indexes) if shard_indexes is not None else ()
     view = memoryview(blob)
+
+    def fault(message: str, offset: int, decoded: Sequence[ShardOutcome]) -> TransportError:
+        return TransportError(
+            message,
+            offset=offset,
+            shard_indexes=expected,
+            decoded_indexes=tuple(outcome.index for outcome in decoded),
+        )
+
     if len(view) < _HEADER.size:
-        raise MeasurementError(f"truncated transport blob: {len(view)} bytes")
+        raise fault(f"truncated transport blob: {len(view)} bytes", len(view), ())
     magic, version, count = _HEADER.unpack_from(view, 0)
     if magic != TRANSPORT_MAGIC:
-        raise MeasurementError(f"bad transport magic: {bytes(magic)!r}")
+        raise fault(f"bad transport magic: {bytes(magic)!r}", 0, ())
     if version != TRANSPORT_VERSION:
-        raise MeasurementError(
-            f"transport version mismatch: blob v{version}, codec v{TRANSPORT_VERSION}"
+        raise fault(
+            f"transport version mismatch: blob v{version}, codec v{TRANSPORT_VERSION}",
+            0,
+            (),
         )
     reader = _Reader(view)
     reader.offset = _HEADER.size
@@ -398,11 +420,21 @@ def decode_outcomes(blob: Buffer) -> list[ShardOutcome]:
             outcomes.append(
                 ShardOutcome(index=index, host_addresses=addresses, records=records)
             )
-    except struct.error as exc:
-        raise MeasurementError(f"corrupt transport blob: {exc}") from exc
+    except TransportError:
+        raise
+    except MeasurementError as exc:
+        # _Reader.text raises on a string overrunning the buffer; re-wrap it
+        # with the batch context the bare message lacks.
+        raise fault(str(exc), reader.offset, outcomes) from exc
+    except (struct.error, IndexError, ValueError, UnicodeDecodeError) as exc:
+        raise fault(
+            f"corrupt transport blob: {exc}", reader.offset, outcomes
+        ) from exc
     if reader.offset != len(view):
-        raise MeasurementError(
-            f"transport blob has {len(view) - reader.offset} trailing bytes"
+        raise fault(
+            f"transport blob has {len(view) - reader.offset} trailing bytes",
+            reader.offset,
+            outcomes,
         )
     return outcomes
 
@@ -414,6 +446,7 @@ __all__ = [
     "MODE_PICKLE",
     "TRANSPORT_ENV",
     "TRANSPORT_VERSION",
+    "TransportError",
     "batch_size_override",
     "decode_outcomes",
     "encode_outcomes",

@@ -67,6 +67,42 @@ class SampleTimeoutError(MeasurementError):
     """Raised when a measurement sample never completes within its timeout."""
 
 
+class TransportError(MeasurementError):
+    """Raised when a shard-result transport blob cannot be decoded.
+
+    Carries enough context for a dispatcher to requeue the work that was in
+    flight when the blob went bad: ``offset`` is the byte offset into the
+    blob where decoding stopped, ``shard_indexes`` the shard indexes the
+    sender claimed the batch carried (when the receiver knows them), and
+    ``decoded_indexes`` the shards that decoded cleanly before the fault —
+    everything in ``shard_indexes`` but not ``decoded_indexes`` is lost and
+    must be retried.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        offset: "int | None" = None,
+        shard_indexes: "tuple[int, ...]" = (),
+        decoded_indexes: "tuple[int, ...]" = (),
+    ) -> None:
+        super().__init__(message)
+        self.offset = offset
+        self.shard_indexes = tuple(shard_indexes)
+        self.decoded_indexes = tuple(decoded_indexes)
+
+    @property
+    def lost_indexes(self) -> "tuple[int, ...]":
+        """Shards that were in flight but did not survive the decode."""
+        decoded = set(self.decoded_indexes)
+        return tuple(i for i in self.shard_indexes if i not in decoded)
+
+
+class ProtocolError(ReproError):
+    """Raised on a malformed or truncated coordinator/worker protocol frame."""
+
+
 class AnalysisError(ReproError):
     """Raised by the statistics / analysis layer on invalid input."""
 

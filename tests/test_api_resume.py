@@ -13,11 +13,12 @@ import os
 import signal
 import subprocess
 import sys
+import threading
 from pathlib import Path
 
 import pytest
 
-from repro.api import CampaignRequest, JobStatus, ResumeRequest, Session
+from repro.api import CampaignRequest, JobCancelled, JobStatus, ResumeRequest, Session
 from repro.core.runner import EXECUTOR_SERIAL
 from repro.net.errors import StoreError
 from repro.scenarios import scenario_names
@@ -189,3 +190,41 @@ def test_sigkill_via_cli_resumes_through_the_api(tmp_path):
             )
         )
     assert envelope.result_digest == reference.result_digest
+
+
+@pytest.mark.parametrize("backend", ("thread", "process"))
+def test_cancel_mid_campaign_then_resume_matches_uninterrupted(tmp_path, backend):
+    """``JobHandle.cancel()`` at a progress boundary leaves a resumable store.
+
+    The checkpoint hook parks the runner at its first progress boundary;
+    cancelling there guarantees the campaign stops with exactly one durable
+    shard, whatever the pool raced ahead to compute.
+    """
+    name = "imc2002-survey"
+    store_dir = tmp_path / f"cancelled-{backend}"
+    checkpointed = threading.Event()
+    release = threading.Event()
+
+    def hold(outcome, completed, total):
+        checkpointed.set()
+        release.wait(30)
+
+    with Session(backend=backend) as session:
+        job = session.submit(_request(name, store=store_dir, on_checkpoint=hold))
+        assert checkpointed.wait(120), "campaign never reached a checkpoint"
+        job.cancel()
+        release.set()
+        with pytest.raises(JobCancelled):
+            job.result(timeout=300)
+        assert job.status() is JobStatus.CANCELLED
+
+    durable = CampaignStore.open(store_dir).completed_shards()
+    assert durable and len(durable) < SHARDS, "cancel must land mid-campaign"
+
+    with Session(backend=EXECUTOR_SERIAL) as session:
+        envelope = session.run(ResumeRequest(store=store_dir))
+    assert envelope.meta["resumed"] is True
+    assert envelope.result_digest == _uninterrupted_digest(name)
+    assert CampaignStore.open(store_dir).is_complete()
+    if name in SHARD_INVARIANT:
+        assert envelope.result_digest == GOLDEN_DIGESTS[name]

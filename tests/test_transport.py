@@ -14,12 +14,13 @@ from __future__ import annotations
 
 import math
 import pickle
+from concurrent.futures import BrokenExecutor, Future
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.api.backends import create_backend
+from repro.api.backends import ThreadBackend, create_backend
 from repro.core.campaign import CampaignConfig, HostRoundResult
 from repro.core.prober import ProbeReport, TestName
 from repro.core.runner import CampaignRunner, ShardOutcome, ShardTask, result_digest
@@ -32,7 +33,7 @@ from repro.core.transport import (
     encode_outcomes,
     next_batch_size,
 )
-from repro.net.errors import MeasurementError
+from repro.net.errors import MeasurementError, TransportError
 from repro.workloads.population import (
     PopulationSpec,
     generate_population,
@@ -259,3 +260,128 @@ def test_map_shards_returns_outcomes_in_task_order(monkeypatch):
     with create_backend("process") as backend:
         ordered = backend.map_shards(shard_tasks)
     assert [outcome.index for outcome in ordered] == [task.index for task in shard_tasks]
+
+
+# ------------------------------------------------------------------ #
+# Typed transport faults carry batch context
+# ------------------------------------------------------------------ #
+
+
+def _two_outcome_blob() -> bytes:
+    return encode_outcomes(
+        [
+            ShardOutcome(index=3, host_addresses=(1,), records=[]),
+            ShardOutcome(index=9, host_addresses=(2,), records=[]),
+        ]
+    )
+
+
+def test_transport_error_carries_offset_and_shard_context():
+    blob = _two_outcome_blob()
+    with pytest.raises(TransportError) as excinfo:
+        decode_outcomes(blob[:-3], shard_indexes=(3, 9))
+    error = excinfo.value
+    assert isinstance(error, MeasurementError), "must stay catchable as before"
+    assert error.shard_indexes == (3, 9)
+    assert error.offset is not None and 0 <= error.offset <= len(blob)
+    assert error.lost_indexes, "a truncated blob must lose at least one shard"
+    assert set(error.decoded_indexes) | set(error.lost_indexes) == {3, 9}
+    assert not set(error.decoded_indexes) & set(error.lost_indexes)
+
+
+def test_transport_error_at_the_magic_has_nothing_decoded():
+    blob = _two_outcome_blob()
+    with pytest.raises(TransportError) as excinfo:
+        decode_outcomes(b"XX" + blob[2:], shard_indexes=(3, 9))
+    error = excinfo.value
+    assert error.offset == 0
+    assert error.decoded_indexes == ()
+    assert error.lost_indexes == (3, 9)
+
+
+def test_transport_error_after_trailing_bytes_lost_nothing():
+    blob = _two_outcome_blob()
+    with pytest.raises(TransportError) as excinfo:
+        decode_outcomes(blob + b"\x00", shard_indexes=(3, 9))
+    error = excinfo.value
+    assert error.offset == len(blob)
+    assert error.decoded_indexes == (3, 9)
+    assert error.lost_indexes == ()
+
+
+def test_transport_error_without_batch_context_defaults_empty():
+    blob = _two_outcome_blob()
+    with pytest.raises(TransportError) as excinfo:
+        decode_outcomes(blob[: len(blob) - 2])
+    error = excinfo.value
+    assert error.shard_indexes == ()
+    assert error.lost_indexes == ()
+
+
+# ------------------------------------------------------------------ #
+# Broken-pool retry: one transient pool death cannot kill a campaign
+# ------------------------------------------------------------------ #
+
+
+class _FlakyThreadBackend(ThreadBackend):
+    """The first ``breaks`` batch submissions come back as broken futures."""
+
+    def __init__(self, breaks: int) -> None:
+        super().__init__(max_workers=2)
+        self.breaks = breaks
+
+    def _shard_submitter(self, tasks):
+        real = super()._shard_submitter(tasks)
+
+        def submit(batch):
+            if self.breaks > 0:
+                self.breaks -= 1
+                broken: Future = Future()
+                broken.set_exception(BrokenExecutor("injected worker death"))
+                return broken
+            return real(batch)
+
+        return submit
+
+
+def _shard_tasks() -> list[ShardTask]:
+    specs = generate_population(_POPULATION, seed=_SEED)
+    return [
+        ShardTask(
+            index=index,
+            specs=tuple(shard),
+            config=_CONFIG,
+            tests=_CONFIG.tests,
+            seed=_SEED,
+            remote_port=80,
+        )
+        for index, shard in enumerate(partition_specs(specs, _SHARDS))
+    ]
+
+
+def test_broken_pool_retries_in_flight_shards_once(monkeypatch, serial_digest):
+    """One transient pool death: a warning, a fresh pool, the same digest.
+
+    Outcomes are compared by digest, not object equality — probe uids come
+    from a process-global allocator, so re-running a shard in the same
+    process yields equal measurements under different uids.
+    """
+    monkeypatch.setenv(BATCH_SIZE_ENV, "1")
+    specs = generate_population(_POPULATION, seed=_SEED)
+    with _FlakyThreadBackend(breaks=1) as backend:
+        runner = CampaignRunner(
+            specs, _CONFIG, seed=_SEED, shards=_SHARDS, backend=backend
+        )
+        with pytest.warns(RuntimeWarning, match="retrying .* in-flight shard"):
+            digest = result_digest(runner.execute())
+    assert backend.breaks == 0, "the injected break must actually have fired"
+    assert digest == serial_digest
+
+
+def test_persistently_broken_pool_propagates_after_one_retry(monkeypatch):
+    monkeypatch.setenv(BATCH_SIZE_ENV, "1")
+    tasks = _shard_tasks()
+    with _FlakyThreadBackend(breaks=1_000) as backend:
+        with pytest.warns(RuntimeWarning, match="retrying"):
+            with pytest.raises(BrokenExecutor):
+                backend.map_shards(tasks)
