@@ -8,6 +8,7 @@ Subcommands::
     python -m repro report --store runs/flap
     python -m repro run --list-scenarios
     python -m repro workers --connect HOST:PORT --workers 4
+    python -m repro lint --format json
 
 The CLI is a thin veneer over the :mod:`repro.api` session layer: ``run``
 submits a :class:`~repro.api.requests.CampaignRequest` and ``resume`` a
@@ -336,11 +337,19 @@ def cmd_workers(argv: Sequence[str]) -> int:
     return status
 
 
+def cmd_lint(argv: Sequence[str]) -> int:
+    """Run the reprolint static analyzer (see :mod:`repro.lint`)."""
+    from repro.lint.cli import main as lint_main
+
+    return lint_main(argv)
+
+
 _COMMANDS = {
     "run": cmd_run,
     "resume": cmd_resume,
     "report": cmd_report,
     "workers": cmd_workers,
+    "lint": cmd_lint,
 }
 
 

@@ -312,7 +312,8 @@ class _PoolBackend(ExecutionBackend):
         so workers never idle behind the parent's decode.
         """
         pending = deque(tasks)
-        workers = max(1, self._workers)
+        with self._pool_lock:
+            workers = max(1, self._workers)
         override = batch_size_override()
         cost = _shard_cost(tasks[0])
         inflight: "dict[Future, tuple[ShardTask, ...]]" = {}
@@ -411,10 +412,12 @@ class ProcessBackend(_PoolBackend):
             self._pool_context = None
 
     def _create_pool(self) -> Executor:
+        # reprolint: allow(LOCK001): only called from _ensure_pool, which holds _pool_lock
         if self._pool_context is not None:
             return ProcessPoolExecutor(
                 max_workers=self._workers,
                 initializer=_init_shard_worker,
+                # reprolint: allow(LOCK001): same _ensure_pool-holds-_pool_lock contract
                 initargs=(self._pool_context,),
             )
         return ProcessPoolExecutor(max_workers=self._workers)

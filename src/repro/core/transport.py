@@ -43,7 +43,7 @@ from __future__ import annotations
 import math
 import os
 import struct
-from typing import Optional, Sequence, Union
+from typing import Any, Optional, Sequence, Union
 
 from repro.core.campaign import HostRoundResult
 from repro.core.prober import ProbeReport, TestName
@@ -273,12 +273,12 @@ class _Reader:
         self.view = view
         self.offset = 0
 
-    def fixed(self, fmt: struct.Struct) -> tuple:
+    def fixed(self, fmt: struct.Struct) -> "tuple[Any, ...]":
         values = fmt.unpack_from(self.view, self.offset)
         self.offset += fmt.size
         return values
 
-    def column(self, count: int, code: str) -> tuple:
+    def column(self, count: int, code: str) -> "tuple[Any, ...]":
         fmt = f"!{count}{code}"
         values = struct.unpack_from(fmt, self.view, self.offset)
         self.offset += struct.calcsize(fmt)

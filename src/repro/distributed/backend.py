@@ -253,10 +253,12 @@ class RemoteBackend(ExecutionBackend):
         # we never hold a later campaign hostage to full strength again — a
         # worker lost to a fault is an expected operational state, and any
         # survivor can serve the job.
-        wanted = 1 if self._fleet_assembled else max(1, self._spawn_count)
+        with self._lock:
+            wanted = 1 if self._fleet_assembled else max(1, self._spawn_count)
         connected = coordinator.wait_for_workers(wanted, timeout=self.wait_timeout)
         if connected >= wanted:
-            self._fleet_assembled = True
+            with self._lock:
+                self._fleet_assembled = True
         if connected == 0:
             self._warn(
                 f"no remote workers connected within {self.wait_timeout:.1f}s; "

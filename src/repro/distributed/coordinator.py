@@ -346,7 +346,11 @@ class Coordinator:
         try:
             while True:
                 msg_type, payload = recv_frame(sock)
-                worker.last_beat = time.monotonic()
+                # The lease monitor reads last_beat under the lock when it
+                # decides whether to evict; publish the beat the same way so
+                # a stale read can never expire a live worker spuriously.
+                with self._lock:
+                    worker.last_beat = time.monotonic()
                 if msg_type == MSG_RESULT:
                     self._on_result(worker, payload)
                 elif msg_type == MSG_SHARD_ERROR:

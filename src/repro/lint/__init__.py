@@ -1,0 +1,40 @@
+"""``reprolint``: the repo's own AST-based static analyzer.
+
+Three rule families protect the invariants the golden-digest tests can only
+check dynamically:
+
+* **determinism** (``DET00x``) — no wall clocks, no ambient entropy, no
+  unordered collections feeding digests inside the deterministic layers;
+* **lock discipline** (``LOCK00x``) — shared attributes accessed under
+  their guard, predicate loops around ``Condition.wait()``, no
+  thread-start/attribute-assignment races in the threaded layers;
+* **codec consistency** (``CODEC00x``) — struct format strings, magic
+  widths, and definition-order enum wire tables cross-checked against
+  their call sites in the hand-rolled binary codecs.
+
+Suppression is explicit: ``# reprolint: allow(RULE-ID): reason``.  See
+:mod:`repro.lint.engine` for scoping and :mod:`repro.lint.cli` for the
+``python -m repro lint`` front door.
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import (
+    ALL_RULES,
+    families_for,
+    format_json,
+    format_text,
+    lint_source,
+    run_lint,
+)
+from repro.lint.findings import Finding
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "families_for",
+    "format_json",
+    "format_text",
+    "lint_source",
+    "run_lint",
+]

@@ -1,0 +1,385 @@
+"""Codec-consistency rules: CODEC001-CODEC004.
+
+Scope: the hand-rolled binary codecs (``core/transport.py``,
+``distributed/protocol.py``, ``store/codec.py``).  Their struct format
+strings, magic constants, and enum wire tables are all *convention*
+agreements between an encoder and a decoder that Python never checks; these
+rules cross-check them statically.
+
+``CODEC001``
+    Arity disagreement between a ``struct.Struct`` format string and a call
+    site: ``FMT.pack(...)`` passing the wrong number of values, or a tuple
+    assignment unpacking the wrong number of fields from ``FMT.unpack`` /
+    ``FMT.unpack_from`` (including through a one-struct-argument helper such
+    as ``reader.fixed(FMT)``).
+``CODEC002``
+    Type-letter disagreement: an argument whose kind is statically provable
+    (literals, ``len(...)``) packed into an incompatible format letter —
+    a float into ``I``, a str into anything, bytes into a numeric field.
+``CODEC003``
+    A magic/constant ``bytes`` value packed into an ``Ns`` field whose
+    declared width differs from the constant's actual length (the classic
+    silently-truncating-magic bug).
+``CODEC004``
+    An enum shipped in *definition order* (a module-level ``tuple(Enum)`` /
+    ``list(Enum)`` wire table) with no adjacent pinning test: reordering or
+    inserting a member silently changes the wire ids, so some test under
+    ``tests/`` must mention the enum together with the word "order".
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import string
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.lint.asthelpers import collect_imports, resolve_call
+from repro.lint.findings import Finding
+
+RULE_ARITY = "CODEC001"
+RULE_TYPE_LETTER = "CODEC002"
+RULE_MAGIC_WIDTH = "CODEC003"
+RULE_ENUM_UNPINNED = "CODEC004"
+
+RULES: dict[str, str] = {
+    RULE_ARITY: "struct format arity disagrees with a pack/unpack call site",
+    RULE_TYPE_LETTER: "value kind disagrees with its struct format letter",
+    RULE_MAGIC_WIDTH: "magic/constant bytes length disagrees with its `s` field width",
+    RULE_ENUM_UNPINNED: "definition-order enum wire table lacks a pinning test",
+}
+
+_INT_LETTERS = frozenset("bBhHiIlLqQnN?")
+_FLOAT_LETTERS = frozenset("efd")
+_BYTES_LETTERS = frozenset("spc")
+
+
+@dataclass(frozen=True)
+class _Field:
+    letter: str
+    width: int  # repeat count for s/p (bytes length); 1 otherwise
+
+
+def parse_struct_format(fmt: str) -> Optional[list[_Field]]:
+    """The per-value fields of a struct format string, or None when the
+    string is malformed (struct itself raises at runtime for those)."""
+    if fmt and fmt[0] in "@=<>!":
+        fmt = fmt[1:]
+    fields: list[_Field] = []
+    index = 0
+    while index < len(fmt):
+        char = fmt[index]
+        if char.isspace():
+            index += 1
+            continue
+        repeat = 0
+        digits = False
+        while index < len(fmt) and fmt[index] in string.digits:
+            repeat = repeat * 10 + int(fmt[index])
+            digits = True
+            index += 1
+        if index >= len(fmt):
+            return None
+        letter = fmt[index]
+        index += 1
+        count = repeat if digits else 1
+        if letter == "x":
+            continue
+        if letter in ("s", "p"):
+            fields.append(_Field(letter, count))
+        elif letter in _INT_LETTERS | _FLOAT_LETTERS | {"c", "P"}:
+            fields.extend(_Field(letter, 1) for _ in range(count))
+        else:
+            return None
+    return fields
+
+
+def _arg_kind(node: ast.expr, imports: dict[str, str]) -> Optional[str]:
+    """Statically provable value kind: int / float / bytes / str, else None."""
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, bool):
+            return "int"
+        if isinstance(node.value, int):
+            return "int"
+        if isinstance(node.value, float):
+            return "float"
+        if isinstance(node.value, bytes):
+            return "bytes"
+        if isinstance(node.value, str):
+            return "str"
+        return None
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _arg_kind(node.operand, imports)
+    if isinstance(node, ast.Call):
+        resolved = resolve_call(node, imports)
+        if resolved == "len":
+            return "int"
+        if resolved == "int":
+            return "int"
+        if resolved == "float":
+            return "float"
+    return None
+
+
+def _kind_compatible(kind: str, letter: str) -> bool:
+    if kind == "str":
+        return False
+    if letter in _INT_LETTERS:
+        return kind == "int"
+    if letter in _FLOAT_LETTERS:
+        return kind in ("int", "float")
+    if letter in _BYTES_LETTERS:
+        return kind == "bytes"
+    return True  # 'P' and anything exotic: no opinion
+
+
+class _ModuleCodecs:
+    """Module-level struct tables and bytes constants."""
+
+    def __init__(self, tree: ast.Module, imports: dict[str, str]) -> None:
+        self.structs: dict[str, list[_Field]] = {}
+        self.bytes_consts: dict[str, bytes] = {}
+        for node in tree.body:
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            value = node.value
+            if isinstance(value, ast.Constant) and isinstance(value.value, bytes):
+                self.bytes_consts[target.id] = value.value
+            if (
+                isinstance(value, ast.Call)
+                and resolve_call(value, imports) in ("struct.Struct", "Struct")
+                and value.args
+                and isinstance(value.args[0], ast.Constant)
+                and isinstance(value.args[0].value, str)
+            ):
+                fields = parse_struct_format(value.args[0].value)
+                if fields is not None:
+                    self.structs[target.id] = fields
+
+
+def _check_pack(
+    path: str,
+    call: ast.Call,
+    fields: list[_Field],
+    fmt_name: str,
+    args: list[ast.expr],
+    codecs: _ModuleCodecs,
+    imports: dict[str, str],
+) -> list[Finding]:
+    findings: list[Finding] = []
+    if any(isinstance(arg, ast.Starred) for arg in args):
+        return findings  # splats defeat static arity checking
+    if len(args) != len(fields):
+        findings.append(
+            Finding(
+                path,
+                call.lineno,
+                RULE_ARITY,
+                f"{fmt_name}.pack() passes {len(args)} value(s) but the format "
+                f"declares {len(fields)} field(s)",
+            )
+        )
+        return findings
+    for arg, fld in zip(args, fields):
+        kind = _arg_kind(arg, imports)
+        if kind is None and isinstance(arg, ast.Name):
+            const = codecs.bytes_consts.get(arg.id)
+            if const is not None:
+                kind = "bytes"
+                if fld.letter == "s" and len(const) != fld.width:
+                    findings.append(
+                        Finding(
+                            path,
+                            call.lineno,
+                            RULE_MAGIC_WIDTH,
+                            f"constant {arg.id} is {len(const)} byte(s) but is "
+                            f"packed into a {fld.width}s field",
+                        )
+                    )
+        elif kind == "bytes" and fld.letter == "s":
+            assert isinstance(arg, ast.Constant)
+            if len(arg.value) != fld.width:
+                findings.append(
+                    Finding(
+                        path,
+                        call.lineno,
+                        RULE_MAGIC_WIDTH,
+                        f"bytes literal is {len(arg.value)} byte(s) but is "
+                        f"packed into a {fld.width}s field",
+                    )
+                )
+        if kind is not None and not _kind_compatible(kind, fld.letter):
+            findings.append(
+                Finding(
+                    path,
+                    call.lineno,
+                    RULE_TYPE_LETTER,
+                    f"a {kind} value is packed into format letter "
+                    f"{fld.letter!r} of {fmt_name}",
+                )
+            )
+    return findings
+
+
+def _tuple_target_size(node: ast.AST) -> Optional[int]:
+    """Element count of a plain-tuple assignment target, else None."""
+    if isinstance(node, ast.Assign) and len(node.targets) == 1:
+        target = node.targets[0]
+        if isinstance(target, ast.Tuple) and not any(
+            isinstance(elt, ast.Starred) for elt in target.elts
+        ):
+            return len(target.elts)
+    return None
+
+
+def check_codec(
+    path: str, tree: ast.Module, tests_root: Optional[Path] = None
+) -> list[Finding]:
+    imports = collect_imports(tree)
+    codecs = _ModuleCodecs(tree, imports)
+    findings: list[Finding] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            receiver = node.func.value
+            if isinstance(receiver, ast.Name) and receiver.id in codecs.structs:
+                fields = codecs.structs[receiver.id]
+                if node.func.attr == "pack":
+                    findings.extend(
+                        _check_pack(
+                            path, node, fields, receiver.id, list(node.args),
+                            codecs, imports,
+                        )
+                    )
+                elif node.func.attr == "pack_into":
+                    values = list(node.args[2:])  # skip buffer and offset
+                    findings.extend(
+                        _check_pack(
+                            path, node, fields, receiver.id, values, codecs, imports
+                        )
+                    )
+        if isinstance(node, ast.Call):
+            resolved = resolve_call(node, imports)
+            if (
+                resolved in ("struct.pack", "struct.pack_into")
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                fields = parse_struct_format(node.args[0].value)
+                if fields is not None:
+                    skip = 1 if resolved == "struct.pack" else 3
+                    findings.extend(
+                        _check_pack(
+                            path, node, fields, "struct", list(node.args[skip:]),
+                            codecs, imports,
+                        )
+                    )
+        size = _tuple_target_size(node)
+        if size is not None:
+            assert isinstance(node, ast.Assign)
+            fields2 = _unpacked_fields(node.value, codecs)
+            if fields2 is not None and size != len(fields2):
+                findings.append(
+                    Finding(
+                        path,
+                        node.lineno,
+                        RULE_ARITY,
+                        f"tuple assignment unpacks {size} name(s) but the "
+                        f"struct format declares {len(fields2)} field(s)",
+                    )
+                )
+    findings.extend(_enum_wire_tables(path, tree, imports, tests_root))
+    return findings
+
+
+def _unpacked_fields(
+    value: ast.expr, codecs: _ModuleCodecs
+) -> Optional[list[_Field]]:
+    """The struct fields a tuple-unpacked call yields, when derivable.
+
+    Covers ``FMT.unpack(...)`` / ``FMT.unpack_from(...)`` directly, and the
+    one-known-struct-argument helper shape (``reader.fixed(FMT)``).
+    """
+    if not isinstance(value, ast.Call):
+        return None
+    func = value.func
+    if isinstance(func, ast.Attribute) and func.attr in ("unpack", "unpack_from"):
+        if isinstance(func.value, ast.Name) and func.value.id in codecs.structs:
+            return codecs.structs[func.value.id]
+        return None
+    struct_args = [
+        arg.id
+        for arg in value.args
+        if isinstance(arg, ast.Name) and arg.id in codecs.structs
+    ]
+    if len(struct_args) == 1:
+        return codecs.structs[struct_args[0]]
+    return None
+
+
+_CAMEL_RE = re.compile(r"^[A-Z][A-Za-z0-9]+$")
+
+
+def _enum_wire_tables(
+    path: str,
+    tree: ast.Module,
+    imports: dict[str, str],
+    tests_root: Optional[Path],
+) -> list[Finding]:
+    findings: list[Finding] = []
+    for node in tree.body:
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            value = node.value
+        elif isinstance(node, ast.AnnAssign):
+            value = node.value
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in ("tuple", "list")
+            and len(value.args) == 1
+            and isinstance(value.args[0], ast.Name)
+        ):
+            enum_name = value.args[0].id
+            if not _CAMEL_RE.match(enum_name) or enum_name not in imports:
+                continue
+            if not _has_pinning_test(enum_name, tests_root):
+                findings.append(
+                    Finding(
+                        path,
+                        node.lineno,
+                        RULE_ENUM_UNPINNED,
+                        f"{enum_name} is shipped in definition order but no test "
+                        f"under tests/ pins its member order (compare "
+                        f"list({enum_name}) against a literal in a test)",
+                    )
+                )
+    return findings
+
+
+_PIN_CACHE: dict[Path, list[tuple[str, str]]] = {}
+
+
+def _has_pinning_test(enum_name: str, tests_root: Optional[Path]) -> bool:
+    if tests_root is None or not tests_root.is_dir():
+        return False
+    cached = _PIN_CACHE.get(tests_root)
+    if cached is None:
+        cached = []
+        for test_file in sorted(tests_root.rglob("*.py")):
+            try:
+                text = test_file.read_text(encoding="utf-8")
+            except OSError:
+                continue
+            cached.append((test_file.name, text))
+        _PIN_CACHE[tests_root] = cached
+    pattern = re.compile(rf"(?:list|tuple)\(\s*{re.escape(enum_name)}\s*\)")
+    for _name, text in cached:
+        if pattern.search(text) and re.search(r"order", text, re.IGNORECASE):
+            return True
+    return False

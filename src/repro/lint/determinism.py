@@ -1,0 +1,208 @@
+"""Determinism rules: DET001-DET004.
+
+The repo's core contract is that every scenario digest is a pure function
+of ``(specs, config, seed, tests)``.  These rules flag the ambient-state
+leaks that silently break that contract inside the deterministic layers
+(``sim/``, ``core/``, ``scenarios/``, ``stats/``, ``store/``,
+``workloads/``):
+
+``DET001``
+    Wall-clock reads (``time.time``, ``time.monotonic``, ``perf_counter``,
+    ``datetime.now`` ...).  Simulated time comes from the event queue; a
+    wall-clock value in a record or a seed makes two identical runs differ.
+``DET002``
+    Ambient entropy: module-level ``random.*``, ``os.urandom``,
+    ``uuid.uuid1/uuid4``, ``secrets.*``.  All randomness must flow through an
+    explicitly seeded :class:`repro.sim.random.SeededRandom` (whose own
+    wrapper module is the single exemption).
+``DET003``
+    An unordered collection — a ``set()`` / set literal / set comprehension /
+    ``frozenset`` or a ``dict`` view (``.keys()/.values()/.items()``) —
+    flowing *directly* into a digest / merge / serialization call.  Set
+    iteration order varies with PYTHONHASHSEED for str keys; dict views
+    inherit whatever insertion order happened.  Wrapping the collection in
+    ``sorted(...)`` neutralizes the finding.  Only direct flow (argument,
+    ``list()``/``tuple()`` wrapper, comprehension source, or ``*`` splat) is
+    tracked; laundering through a variable is out of scope by design.
+``DET004``
+    ``id()``-dependent ordering: ``sorted``/``.sort``/``min``/``max`` with
+    ``key=id`` or a key lambda calling ``id``.  CPython ids are allocation
+    addresses — different every run.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.lint.asthelpers import collect_imports, dotted_name, resolve_call
+from repro.lint.findings import Finding
+
+RULE_WALL_CLOCK = "DET001"
+RULE_AMBIENT_ENTROPY = "DET002"
+RULE_UNORDERED_SINK = "DET003"
+RULE_ID_ORDER = "DET004"
+
+RULES: dict[str, str] = {
+    RULE_WALL_CLOCK: "wall-clock call in deterministic code",
+    RULE_AMBIENT_ENTROPY: "ambient (unseeded) entropy in deterministic code",
+    RULE_UNORDERED_SINK: "unordered collection flows into a digest/merge/serialization call",
+    RULE_ID_ORDER: "id()-dependent ordering",
+}
+
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+_ENTROPY_EXACT = frozenset({"os.urandom", "uuid.uuid1", "uuid.uuid4"})
+_ENTROPY_MODULES = ("random.", "secrets.")
+
+#: A call is a digest/merge/serialization sink when its final name segment
+#: contains one of these markers (``result_digest``, ``encode_outcomes``,
+#: ``json.dumps``, ``merge_records``, ``Struct.pack`` ...).
+_SINK_MARKERS = (
+    "digest",
+    "signature",
+    "serialize",
+    "merge",
+    "dumps",
+    "encode",
+    "pack",
+    "sha1",
+    "sha256",
+    "sha512",
+    "md5",
+    "blake2",
+    "checksum",
+)
+
+_DICT_VIEWS = frozenset({"keys", "values", "items"})
+_ORDER_NEUTRALIZERS = frozenset({"sorted", "len", "sum", "min", "max", "any", "all"})
+
+
+def _is_sink(call: ast.Call, imports: dict[str, str]) -> bool:
+    resolved = resolve_call(call, imports)
+    if resolved is None:
+        if isinstance(call.func, ast.Attribute):
+            resolved = call.func.attr  # method on a computed receiver
+        else:
+            return False
+    tail = resolved.rsplit(".", 1)[-1].lower()
+    return any(marker in tail for marker in _SINK_MARKERS)
+
+
+def _unordered_root(node: ast.expr, imports: dict[str, str]) -> Optional[ast.expr]:
+    """The unordered collection an expression directly evaluates/iterates,
+    or None when the expression is order-safe (or unknowable)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return node
+    if isinstance(node, ast.Starred):
+        return _unordered_root(node.value, imports)
+    if isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+        return _unordered_root(node.generators[0].iter, imports)
+    if isinstance(node, ast.Call):
+        resolved = resolve_call(node, imports)
+        if resolved in ("set", "frozenset"):
+            return node
+        if resolved in _ORDER_NEUTRALIZERS:
+            return None
+        if resolved in ("list", "tuple", "iter", "repr", "str") and len(node.args) == 1:
+            inner = _unordered_root(node.args[0], imports)
+            # repr/str of a set is just as order-dependent as iterating it.
+            return inner
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _DICT_VIEWS
+            and not node.args
+        ):
+            return node
+    return None
+
+
+def _key_uses_id(keyword: ast.keyword, imports: dict[str, str]) -> bool:
+    value = keyword.value
+    if isinstance(value, ast.Name) and value.id == "id":
+        return True
+    if isinstance(value, ast.Lambda):
+        for sub in ast.walk(value.body):
+            if isinstance(sub, ast.Call) and resolve_call(sub, imports) == "id":
+                return True
+    return False
+
+
+def check_determinism(path: str, tree: ast.Module) -> list[Finding]:
+    imports = collect_imports(tree)
+    findings: list[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        resolved = resolve_call(node, imports)
+        if resolved is not None:
+            if resolved in _WALL_CLOCK:
+                findings.append(
+                    Finding(
+                        path,
+                        node.lineno,
+                        RULE_WALL_CLOCK,
+                        f"wall-clock call {resolved}() in deterministic code; "
+                        "use simulated time from the event queue",
+                    )
+                )
+            elif resolved in _ENTROPY_EXACT or resolved.startswith(_ENTROPY_MODULES):
+                findings.append(
+                    Finding(
+                        path,
+                        node.lineno,
+                        RULE_AMBIENT_ENTROPY,
+                        f"ambient entropy {resolved}() in deterministic code; "
+                        "draw from an explicitly seeded SeededRandom instead",
+                    )
+                )
+            if resolved in ("sorted", "min", "max") or (
+                isinstance(node.func, ast.Attribute) and node.func.attr == "sort"
+            ):
+                for keyword in node.keywords:
+                    if keyword.arg == "key" and _key_uses_id(keyword, imports):
+                        findings.append(
+                            Finding(
+                                path,
+                                node.lineno,
+                                RULE_ID_ORDER,
+                                "ordering by id() depends on allocation addresses; "
+                                "sort by a stable field instead",
+                            )
+                        )
+        if _is_sink(node, imports):
+            for arg in [*node.args, *(kw.value for kw in node.keywords)]:
+                root = _unordered_root(arg, imports)
+                if root is not None:
+                    kind = (
+                        "dict view"
+                        if isinstance(root, ast.Call)
+                        and isinstance(root.func, ast.Attribute)
+                        and root.func.attr in _DICT_VIEWS
+                        else "set"
+                    )
+                    findings.append(
+                        Finding(
+                            path,
+                            node.lineno,
+                            RULE_UNORDERED_SINK,
+                            f"{kind} iteration feeds a digest/merge/serialization "
+                            "call; wrap it in sorted(...) for a canonical order",
+                        )
+                    )
+    return findings

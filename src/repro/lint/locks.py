@@ -1,0 +1,327 @@
+"""Lock-discipline rules: LOCK001-LOCK004.
+
+Scope: the threaded layers (``distributed/`` and ``api/backends.py``).
+The analysis is per class, driven by a small symbol table built from the
+class body:
+
+* every ``self.X = threading.Lock() / RLock()`` defines a *guard* named X;
+* ``self.X = threading.Condition(self.Y)`` makes X an alias of Y's guard
+  (acquiring the condition acquires the same underlying lock), and marks X
+  as a condition for the predicate-loop rule; a bare ``Condition()`` is its
+  own guard.
+
+With that table each method is walked with the set of currently held guard
+groups (entering ``with self.X:`` pushes X's group).  Nested functions and
+lambdas are scanned as if *no* guard were held — a closure can outlive the
+``with`` block it was defined in.
+
+``LOCK001``
+    An attribute written under a guard somewhere in the class but read or
+    written without that guard elsewhere (outside ``__init__``).  The
+    classic torn-state/lost-update shape.
+``LOCK002``
+    ``Condition.wait()`` not wrapped in a ``while`` predicate loop.
+    Conditions wake spuriously and predicates can be re-falsified between
+    ``notify`` and wakeup; an ``if`` check is not enough.
+    (``wait_for`` carries its own loop and is never flagged.)
+``LOCK003``
+    A ``threading.Thread(target=self.m).start()`` where method ``m`` reads
+    attributes this method only assigns *after* the ``start()`` call — the
+    thread can observe the attribute missing or stale.
+``LOCK004``
+    In a class that defines guards, a write to a ``self._*`` attribute
+    outside ``__init__`` with no guard held.  Weaker signal than LOCK001
+    (the attribute may be thread-confined), which is exactly what the
+    annotated-allow escape hatch is for.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.lint.asthelpers import collect_imports, is_self_attr, resolve_call
+from repro.lint.findings import Finding
+
+RULE_UNGUARDED_SHARED = "LOCK001"
+RULE_WAIT_NO_LOOP = "LOCK002"
+RULE_THREAD_CAPTURE = "LOCK003"
+RULE_UNGUARDED_WRITE = "LOCK004"
+
+RULES: dict[str, str] = {
+    RULE_UNGUARDED_SHARED: "attribute guarded elsewhere is accessed without its lock",
+    RULE_WAIT_NO_LOOP: "Condition.wait() outside a while predicate loop",
+    RULE_THREAD_CAPTURE: "thread target reads attributes assigned after start()",
+    RULE_UNGUARDED_WRITE: "unguarded write to a shared attribute in a lock-using class",
+}
+
+_LOCK_FACTORIES = frozenset({"threading.Lock", "threading.RLock"})
+_CONDITION_FACTORY = "threading.Condition"
+
+
+@dataclass
+class _Access:
+    attr: str
+    method: str
+    line: int
+    is_write: bool
+    held: frozenset[str]
+
+
+@dataclass
+class _ClassModel:
+    guards: dict[str, str] = field(default_factory=dict)  # attr -> guard group
+    conditions: set[str] = field(default_factory=set)
+    accesses: list[_Access] = field(default_factory=list)
+    method_reads: dict[str, set[str]] = field(default_factory=dict)
+
+
+def _build_guard_table(cls: ast.ClassDef, imports: dict[str, str]) -> _ClassModel:
+    model = _ClassModel()
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+            continue
+        resolved = resolve_call(node.value, imports)
+        for target in node.targets:
+            attr = is_self_attr(target)
+            if attr is None:
+                continue
+            if resolved in _LOCK_FACTORIES:
+                model.guards[attr] = attr
+            elif resolved == _CONDITION_FACTORY:
+                model.conditions.add(attr)
+                group = attr
+                if node.value.args:
+                    wrapped = is_self_attr(node.value.args[0])
+                    if wrapped is not None:
+                        group = model.guards.get(wrapped, wrapped)
+                model.guards[attr] = group
+    return model
+
+
+class _MethodScanner:
+    """One pass over a method body tracking which guard groups are held."""
+
+    def __init__(self, model: _ClassModel, method: str) -> None:
+        self.model = model
+        self.method = method
+        self.reads: set[str] = set()
+
+    def scan(self, nodes: list[ast.stmt], held: frozenset[str]) -> None:
+        for node in nodes:
+            self._scan_node(node, held)
+
+    def _scan_node(self, node: ast.AST, held: frozenset[str]) -> None:
+        if isinstance(node, ast.With):
+            inner = held
+            for item in node.items:
+                attr = is_self_attr(item.context_expr)
+                if attr is not None and attr in self.model.guards:
+                    inner = inner | {self.model.guards[attr]}
+                else:
+                    self._scan_node(item.context_expr, held)
+            self.scan(node.body, inner)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # A closure may run after the with-block exits: assume no guard.
+            body = node.body if isinstance(node.body, list) else [node.body]
+            for child in body:
+                self._scan_node(child, frozenset())
+            return
+        attr = is_self_attr(node)
+        if attr is not None and isinstance(node, ast.Attribute):
+            is_write = isinstance(node.ctx, (ast.Store, ast.Del))
+            if not is_write:
+                self.reads.add(attr)
+            self.model.accesses.append(
+                _Access(attr, self.method, node.lineno, is_write, held)
+            )
+            return
+        for child in ast.iter_child_nodes(node):
+            self._scan_node(child, held)
+
+
+def _wait_not_in_loop(
+    path: str, cls: ast.ClassDef, model: _ClassModel
+) -> list[Finding]:
+    findings: list[Finding] = []
+    for method in (n for n in cls.body if isinstance(n, ast.FunctionDef)):
+        loops: list[ast.While] = [n for n in ast.walk(method) if isinstance(n, ast.While)]
+        in_loop: set[int] = set()
+        for loop in loops:
+            for sub in ast.walk(loop):
+                in_loop.add(id(sub))
+        for node in ast.walk(method):
+            if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+                continue
+            if node.func.attr != "wait":
+                continue
+            receiver = is_self_attr(node.func.value)
+            if receiver is None or receiver not in model.conditions:
+                continue
+            if id(node) not in in_loop:
+                findings.append(
+                    Finding(
+                        path,
+                        node.lineno,
+                        RULE_WAIT_NO_LOOP,
+                        f"self.{receiver}.wait() must re-check its predicate in "
+                        "a while loop (spurious wakeups, stolen notifies)",
+                    )
+                )
+    return findings
+
+
+def _thread_capture(
+    path: str, cls: ast.ClassDef, imports: dict[str, str], model: _ClassModel
+) -> list[Finding]:
+    findings: list[Finding] = []
+    for method in (n for n in cls.body if isinstance(n, ast.FunctionDef)):
+        starts: list[tuple[int, str]] = []  # (start line, target method name)
+        thread_vars: dict[str, str] = {}  # local var -> target method name
+        for node in ast.walk(method):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                target_name = _thread_target(node.value, imports)
+                if target_name is not None:
+                    for tgt in node.targets:
+                        if isinstance(tgt, ast.Name):
+                            thread_vars[tgt.id] = target_name
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "start"
+            ):
+                receiver = node.func.value
+                if isinstance(receiver, ast.Call):
+                    target_name = _thread_target(receiver, imports)
+                    if target_name is not None:
+                        starts.append((node.lineno, target_name))
+                elif isinstance(receiver, ast.Name) and receiver.id in thread_vars:
+                    starts.append((node.lineno, thread_vars[receiver.id]))
+        if not starts:
+            continue
+        assigns_after: dict[str, list[tuple[int, str]]] = {}
+        for node in ast.walk(method):
+            attr = is_self_attr(node)
+            if (
+                attr is not None
+                and isinstance(node, ast.Attribute)
+                and isinstance(node.ctx, ast.Store)
+            ):
+                for start_line, target_name in starts:
+                    if node.lineno > start_line:
+                        assigns_after.setdefault(target_name, []).append(
+                            (start_line, attr)
+                        )
+        for target_name, late in assigns_after.items():
+            reads = model.method_reads.get(target_name, set())
+            for start_line, attr in late:
+                if attr in reads:
+                    findings.append(
+                        Finding(
+                            path,
+                            start_line,
+                            RULE_THREAD_CAPTURE,
+                            f"thread target self.{target_name} reads self.{attr}, "
+                            f"which is assigned only after start(); assign it first",
+                        )
+                    )
+    return findings
+
+
+def _thread_target(call: ast.Call, imports: dict[str, str]) -> Optional[str]:
+    """``self.<m>`` target name when ``call`` constructs a threading.Thread."""
+    if resolve_call(call, imports) != "threading.Thread":
+        return None
+    for keyword in call.keywords:
+        if keyword.arg == "target":
+            return is_self_attr(keyword.value)
+    return None
+
+
+def _inherit_guards(
+    cls: ast.ClassDef,
+    by_name: dict[str, ast.ClassDef],
+    imports: dict[str, str],
+    memo: dict[str, _ClassModel],
+) -> _ClassModel:
+    """The class's guard table merged with same-module bases' (derived
+    classes guard attributes with locks their base defined)."""
+    cached = memo.get(cls.name)
+    if cached is not None:
+        return cached
+    model = _build_guard_table(cls, imports)
+    memo[cls.name] = model  # break cycles before recursing
+    for base in cls.bases:
+        if isinstance(base, ast.Name) and base.id in by_name and base.id != cls.name:
+            parent = _inherit_guards(by_name[base.id], by_name, imports, memo)
+            for attr, group in parent.guards.items():
+                model.guards.setdefault(attr, group)
+            model.conditions.update(parent.conditions)
+    return model
+
+
+def check_locks(path: str, tree: ast.Module) -> list[Finding]:
+    imports = collect_imports(tree)
+    findings: list[Finding] = []
+    classes = [n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)]
+    by_name = {cls.name: cls for cls in classes}
+    memo: dict[str, _ClassModel] = {}
+    for cls in classes:
+        model = _inherit_guards(cls, by_name, imports, memo)
+        for method in (n for n in cls.body if isinstance(n, ast.FunctionDef)):
+            if not method.args.args or method.args.args[0].arg != "self":
+                continue
+            scanner = _MethodScanner(model, method.name)
+            scanner.scan(method.body, frozenset())
+            model.method_reads[method.name] = scanner.reads
+        if model.guards:
+            findings.extend(_unguarded_accesses(path, model))
+        findings.extend(_wait_not_in_loop(path, cls, model))
+        findings.extend(_thread_capture(path, cls, imports, model))
+    return findings
+
+
+def _unguarded_accesses(path: str, model: _ClassModel) -> list[Finding]:
+    guarded_writes: dict[str, set[str]] = {}
+    for access in model.accesses:
+        if access.is_write and access.held and access.method != "__init__":
+            guarded_writes.setdefault(access.attr, set()).update(access.held)
+    findings: list[Finding] = []
+    flagged: set[tuple[int, str]] = set()
+    for access in model.accesses:
+        if access.method == "__init__":
+            continue
+        groups = guarded_writes.get(access.attr)
+        if groups is not None and not (access.held & groups):
+            guard = "/".join(sorted(groups))
+            verb = "written" if access.is_write else "read"
+            findings.append(
+                Finding(
+                    path,
+                    access.line,
+                    RULE_UNGUARDED_SHARED,
+                    f"self.{access.attr} is {verb} without self.{guard}, but "
+                    f"writes elsewhere hold it",
+                )
+            )
+            flagged.add((access.line, access.attr))
+    for access in model.accesses:
+        if (
+            access.is_write
+            and not access.held
+            and access.method != "__init__"
+            and access.attr.startswith("_")
+            and (access.line, access.attr) not in flagged
+        ):
+            findings.append(
+                Finding(
+                    path,
+                    access.line,
+                    RULE_UNGUARDED_WRITE,
+                    f"self.{access.attr} is written with no guard held in a "
+                    f"class that uses locks; guard it or justify with an allow",
+                )
+            )
+    return findings

@@ -1,0 +1,286 @@
+"""reprolint codec-consistency rules (CODEC001-CODEC004) and the struct
+format parser.
+
+Fixtures are linted under ``distributed/protocol.py`` — one of the three
+codec-scoped paths — so the codec family applies (and the lock family,
+which stays silent because the fixtures define no classes).
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import lint_source
+from repro.lint.codec import _Field, parse_struct_format
+
+
+def _lint(snippet: str, tests_root=None):
+    return lint_source(
+        textwrap.dedent(snippet), "distributed/protocol.py", tests_root=tests_root
+    )
+
+
+def _rules(snippet: str, tests_root=None):
+    return [finding.rule for finding in _lint(snippet, tests_root)]
+
+
+# --------------------------------------------------------------------- #
+# The format-string parser
+# --------------------------------------------------------------------- #
+
+
+def test_parse_struct_format_expands_repeats_and_skips_pads():
+    assert parse_struct_format("!2sBxI") == [
+        _Field("s", 2),
+        _Field("B", 1),
+        _Field("I", 1),
+    ]
+    assert parse_struct_format("!3I") == [_Field("I", 1)] * 3
+
+
+def test_parse_struct_format_rejects_unknown_letters():
+    assert parse_struct_format("!2sZ") is None
+    assert parse_struct_format("!4") is None
+
+
+# --------------------------------------------------------------------- #
+# CODEC001 — arity
+# --------------------------------------------------------------------- #
+
+
+def test_codec001_flags_pack_with_wrong_arity():
+    findings = _lint(
+        """
+        import struct
+
+        _HEADER = struct.Struct("!2sB")
+
+        def encode():
+            return _HEADER.pack(b"RB", 1, 2)
+        """
+    )
+    assert [f.rule for f in findings] == ["CODEC001"]
+    assert "3 value(s)" in findings[0].message
+
+
+def test_codec001_near_miss_matching_arity_and_splats():
+    # Correct arity is clean, and a *splat defeats static counting rather
+    # than producing a guess.
+    assert _rules(
+        """
+        import struct
+
+        _HEADER = struct.Struct("!2sB")
+
+        def encode(extra):
+            first = _HEADER.pack(b"RB", 1)
+            second = _HEADER.pack(*extra)
+            return first + second
+        """
+    ) == []
+
+
+def test_codec001_flags_tuple_unpack_arity():
+    assert _rules(
+        """
+        import struct
+
+        _FIXED = struct.Struct("!QII")
+
+        def decode(buf):
+            shard, addresses, records, flags = _FIXED.unpack(buf)
+            return shard, addresses, records, flags
+        """
+    ) == ["CODEC001"]
+
+
+def test_codec001_sees_through_one_struct_argument_helpers():
+    # The `reader.fixed(_FIXED)` shape transport.py uses everywhere.
+    assert _rules(
+        """
+        import struct
+
+        _FIXED = struct.Struct("!QII")
+
+        def decode(reader):
+            shard, addresses = reader.fixed(_FIXED)
+            return shard, addresses
+        """
+    ) == ["CODEC001"]
+
+
+def test_codec001_near_miss_helper_with_matching_tuple():
+    assert _rules(
+        """
+        import struct
+
+        _FIXED = struct.Struct("!QII")
+
+        def decode(reader):
+            shard, addresses, records = reader.fixed(_FIXED)
+            return shard, addresses, records
+        """
+    ) == []
+
+
+def test_codec001_checks_bare_struct_pack_too():
+    assert _rules(
+        """
+        import struct
+
+        def encode():
+            return struct.pack("!II", 1)
+        """
+    ) == ["CODEC001"]
+
+
+# --------------------------------------------------------------------- #
+# CODEC002 — type letters
+# --------------------------------------------------------------------- #
+
+
+def test_codec002_flags_float_into_integer_field():
+    findings = _lint(
+        """
+        import struct
+
+        _U32 = struct.Struct("!I")
+
+        def encode():
+            return _U32.pack(1.5)
+        """
+    )
+    assert [f.rule for f in findings] == ["CODEC002"]
+
+
+def test_codec002_flags_str_into_bytes_field():
+    assert _rules(
+        """
+        import struct
+
+        _MAGIC = struct.Struct("!2s")
+
+        def encode():
+            return _MAGIC.pack("RB")
+        """
+    ) == ["CODEC002"]
+
+
+def test_codec002_near_miss_int_shapes_into_numeric_fields():
+    # ints into I/d, len() into I, unary minus: all provably fine.
+    assert _rules(
+        """
+        import struct
+
+        _PAIR = struct.Struct("!Id")
+
+        def encode(samples):
+            return _PAIR.pack(len(samples), 3) + _PAIR.pack(7, -1.5)
+        """
+    ) == []
+
+
+# --------------------------------------------------------------------- #
+# CODEC003 — magic width
+# --------------------------------------------------------------------- #
+
+
+def test_codec003_flags_magic_constant_width_mismatch():
+    findings = _lint(
+        """
+        import struct
+
+        MAGIC = b"RBX"
+        _HEADER = struct.Struct("!2sB")
+
+        def encode():
+            return _HEADER.pack(MAGIC, 1)
+        """
+    )
+    assert [f.rule for f in findings] == ["CODEC003"]
+    assert "3 byte(s)" in findings[0].message
+
+
+def test_codec003_flags_inline_literal_width_mismatch():
+    assert _rules(
+        """
+        import struct
+
+        _HEADER = struct.Struct("!2sB")
+
+        def encode():
+            return _HEADER.pack(b"X", 1)
+        """
+    ) == ["CODEC003"]
+
+
+def test_codec003_near_miss_exact_width_magic():
+    assert _rules(
+        """
+        import struct
+
+        MAGIC = b"RB"
+        _HEADER = struct.Struct("!2sB")
+
+        def encode():
+            return _HEADER.pack(MAGIC, 1)
+        """
+    ) == []
+
+
+# --------------------------------------------------------------------- #
+# CODEC004 — definition-order enum wire tables need a pinning test
+# --------------------------------------------------------------------- #
+
+_ENUM_TABLE = """
+from repro.core.prober import TestName
+
+_TESTS = tuple(TestName)
+"""
+
+
+def test_codec004_flags_unpinned_enum_table(tmp_path):
+    tests_root = tmp_path / "tests"
+    tests_root.mkdir()
+    (tests_root / "test_other.py").write_text("def test_nothing():\n    pass\n")
+    findings = _lint(_ENUM_TABLE, tests_root=tests_root)
+    assert [f.rule for f in findings] == ["CODEC004"]
+    assert "TestName" in findings[0].message
+
+
+def test_codec004_near_miss_mention_without_order_pin(tmp_path):
+    # A test that merely iterates the enum is not a pin: it must compare
+    # list(Enum) against a literal and say what order it asserts.
+    tests_root = tmp_path / "tests"
+    tests_root.mkdir()
+    (tests_root / "test_loose.py").write_text(
+        "from repro.core.prober import TestName\n"
+        "def test_members_exist():\n"
+        "    assert len(list(TestName)) == 4\n"
+    )
+    assert _rules(_ENUM_TABLE, tests_root=tests_root) == ["CODEC004"]
+
+
+def test_codec004_satisfied_by_a_pinning_test(tmp_path):
+    tests_root = tmp_path / "tests"
+    tests_root.mkdir()
+    (tests_root / "test_pin.py").write_text(
+        "from repro.core.prober import TestName\n"
+        "def test_definition_order_is_the_wire_protocol():\n"
+        "    assert list(TestName) == [TestName.SINGLE_CONNECTION,\n"
+        "                              TestName.DUAL_CONNECTION,\n"
+        "                              TestName.SYN,\n"
+        "                              TestName.DATA_TRANSFER]\n"
+    )
+    assert _rules(_ENUM_TABLE, tests_root=tests_root) == []
+
+
+def test_codec004_near_miss_lowercase_helpers_are_not_enums():
+    # tuple(things) over a local lowercase name is ordinary code.
+    assert _rules(
+        """
+        from repro.core.prober import probe_names
+
+        _NAMES = tuple(probe_names)
+        """
+    ) == []

@@ -1,0 +1,225 @@
+"""reprolint determinism rules (DET001-DET004): fixtures and near-misses.
+
+Every rule gets at least one triggering fixture and one near-miss that a
+naive text match would also flag but the AST analysis must not.  Fixtures
+are linted under a ``sim/``-relative path so the determinism family applies.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import lint_source
+
+
+def _lint(snippet: str, relpath: str = "sim/fixture.py"):
+    return lint_source(textwrap.dedent(snippet), relpath)
+
+
+def _rules(snippet: str, relpath: str = "sim/fixture.py"):
+    return [finding.rule for finding in _lint(snippet, relpath)]
+
+
+# --------------------------------------------------------------------- #
+# DET001 — wall clocks
+# --------------------------------------------------------------------- #
+
+
+def test_det001_flags_time_monotonic():
+    findings = _lint(
+        """
+        import time
+
+        def stamp():
+            return time.monotonic()
+        """
+    )
+    assert [f.rule for f in findings] == ["DET001"]
+    assert findings[0].line == 5
+    assert "time.monotonic" in findings[0].message
+
+
+def test_det001_resolves_from_import_aliases():
+    assert _rules(
+        """
+        from time import perf_counter as tick
+
+        def stamp():
+            return tick()
+        """
+    ) == ["DET001"]
+
+
+def test_det001_near_miss_sleep_and_strftime_are_not_clocks():
+    assert _rules(
+        """
+        import time
+
+        def pace():
+            time.sleep(0.1)
+            return time.strftime
+        """
+    ) == []
+
+
+def test_det001_out_of_scope_layer_is_not_linted():
+    # api/ is not a deterministic layer; same code, no finding.
+    assert _rules(
+        """
+        import time
+
+        def stamp():
+            return time.time()
+        """,
+        relpath="api/fixture.py",
+    ) == []
+
+
+# --------------------------------------------------------------------- #
+# DET002 — ambient entropy
+# --------------------------------------------------------------------- #
+
+
+def test_det002_flags_module_level_random():
+    assert _rules(
+        """
+        import random
+
+        def jitter():
+            return random.random()
+        """
+    ) == ["DET002"]
+
+
+def test_det002_flags_urandom_and_uuid4():
+    assert _rules(
+        """
+        import os
+        import uuid
+
+        def token():
+            return os.urandom(8), uuid.uuid4()
+        """
+    ) == ["DET002", "DET002"]
+
+
+def test_det002_near_miss_seeded_random_instances_are_fine():
+    # Method calls on an explicitly seeded generator object resolve to the
+    # local name, not the random module.
+    assert _rules(
+        """
+        from repro.sim.random import SeededRandom
+
+        def jitter(seed):
+            rng = SeededRandom(seed)
+            return rng.uniform(0.0, 1.0)
+        """
+    ) == []
+
+
+def test_det002_sim_random_wrapper_module_is_exempt():
+    assert _rules(
+        """
+        import random
+
+        class SeededRandom(random.Random):
+            pass
+
+        def make(seed):
+            return random.Random(seed)
+        """,
+        relpath="sim/random.py",
+    ) == []
+
+
+# --------------------------------------------------------------------- #
+# DET003 — unordered collections into digest/merge/serialization sinks
+# --------------------------------------------------------------------- #
+
+
+def test_det003_flags_set_literal_into_digest():
+    findings = _lint(
+        """
+        def digest_of(result_digest):
+            return result_digest({1, 2, 3})
+        """
+    )
+    assert [f.rule for f in findings] == ["DET003"]
+    assert "set" in findings[0].message
+
+
+def test_det003_flags_dict_view_into_dumps():
+    findings = _lint(
+        """
+        import json
+
+        def serialize(table):
+            return json.dumps(list(table.values()))
+        """
+    )
+    assert [f.rule for f in findings] == ["DET003"]
+    assert "dict view" in findings[0].message
+
+
+def test_det003_near_miss_sorted_wrapper_neutralizes():
+    assert _rules(
+        """
+        import json
+
+        def serialize(table):
+            return json.dumps(sorted(table.keys()))
+        """
+    ) == []
+
+
+def test_det003_near_miss_sink_name_without_unordered_arg():
+    assert _rules(
+        """
+        import json
+
+        def serialize(rows):
+            return json.dumps([row.key for row in rows])
+        """
+    ) == []
+
+
+def test_det003_near_miss_len_of_set_is_order_insensitive():
+    assert _rules(
+        """
+        def count_digest(result_digest, table):
+            return result_digest(len(set(table)))
+        """
+    ) == []
+
+
+# --------------------------------------------------------------------- #
+# DET004 — id()-dependent ordering
+# --------------------------------------------------------------------- #
+
+
+def test_det004_flags_sorted_key_id():
+    assert _rules(
+        """
+        def order(xs):
+            return sorted(xs, key=id)
+        """
+    ) == ["DET004"]
+
+
+def test_det004_flags_sort_method_with_id_lambda():
+    assert _rules(
+        """
+        def order(xs):
+            xs.sort(key=lambda x: (id(x), 0))
+            return xs
+        """
+    ) == ["DET004"]
+
+
+def test_det004_near_miss_stable_field_key():
+    assert _rules(
+        """
+        def order(xs):
+            return sorted(xs, key=lambda x: x.index)
+        """
+    ) == []

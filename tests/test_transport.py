@@ -385,3 +385,25 @@ def test_persistently_broken_pool_propagates_after_one_retry(monkeypatch):
         with pytest.warns(RuntimeWarning, match="retrying"):
             with pytest.raises(BrokenExecutor):
                 backend.map_shards(tasks)
+
+
+def test_enum_wire_tables_pin_definition_order():
+    """Definition order IS the wire protocol for enum fields.
+
+    The transport ships ``TestName`` and ``SampleOutcome`` members as their
+    index in the definition-order tuple, so reordering, inserting, or
+    removing a member silently changes every id on the wire.  Pinning the
+    member order here turns that into a loud failure instead.
+    """
+    assert list(TestName) == [
+        TestName.SINGLE_CONNECTION,
+        TestName.DUAL_CONNECTION,
+        TestName.SYN,
+        TestName.DATA_TRANSFER,
+    ]
+    assert list(SampleOutcome) == [
+        SampleOutcome.IN_ORDER,
+        SampleOutcome.REORDERED,
+        SampleOutcome.AMBIGUOUS,
+        SampleOutcome.LOST,
+    ]
